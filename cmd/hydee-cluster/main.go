@@ -1,0 +1,36 @@
+// Command hydee-cluster runs the off-line process-clustering tool on one
+// kernel or on all six, printing Table-I rows and, with -assign, the full
+// cluster assignment usable in HydEE configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"hydee"
+)
+
+func main() {
+	np := flag.Int("np", 256, "number of ranks")
+	iters := flag.Int("iters", 2, "iterations to trace")
+	app := flag.String("app", "", "kernel to cluster (bt,cg,ft,lu,mg,sp); empty = all")
+	showAssign := flag.Bool("assign", false, "print the per-rank cluster assignment")
+	flag.Parse()
+
+	rows, err := hydee.Table1(*np, *iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		if *app != "" && r.App != strings.ToLower(*app) {
+			continue
+		}
+		fmt.Printf("%-4s clusters=%-3d rollback=%6.2f%%  logged=%.0f/%.0f GB (%.2f%%)\n",
+			strings.ToUpper(r.App), r.K, r.RollbackPct, r.LoggedGB, r.TotalGB, r.LoggedPct)
+		if *showAssign {
+			fmt.Printf("  assign: %v\n", r.Assign)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Command hydee-nas regenerates Figure 6 of the paper: failure-free
+// normalized execution time of the six NAS kernels under native MPICH2,
+// full message logging, and HydEE with the clustering of Table I. The
+// expected shape: native <= HydEE <= full logging everywhere, with HydEE
+// overhead at most ~2% (the paper measures at most 1.25% on 256 ranks).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hydee"
+)
+
+func main() {
+	np := flag.Int("np", 256, "number of ranks (256 reproduces the paper)")
+	iters := flag.Int("iters", 3, "timesteps per kernel")
+	traceIters := flag.Int("trace-iters", 2, "iterations used to trace the communication graphs")
+	flag.Parse()
+
+	clusterings, t1, err := hydee.Clusterings(*np, *traceIters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Table I — application clustering on %d processes:\n", *np)
+	fmt.Println(hydee.FormatTable1(t1))
+
+	rows, err := hydee.Figure6(*np, *iters, clusterings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 6 — NAS failure-free performance on %d processes (normalized to native):\n", *np)
+	fmt.Println(hydee.FormatFigure6(rows))
+
+	worst := 0.0
+	for _, r := range rows {
+		if r.HydEEPct > worst {
+			worst = r.HydEEPct
+		}
+	}
+	fmt.Printf("maximum HydEE overhead: %.2f%% (paper: at most 1.25%% / 2%%)\n", worst)
+}

@@ -1,0 +1,60 @@
+// Command quickstart runs a small send-deterministic stencil under HydEE,
+// kills a process mid-run, and shows that only its cluster rolls back while
+// the recovered execution matches the failure-free one bit-for-bit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hydee"
+)
+
+func main() {
+	const (
+		np    = 8
+		iters = 12
+	)
+	// Two clusters of four ranks.
+	topo := hydee.NewTopology([]int{0, 0, 0, 0, 1, 1, 1, 1})
+	program := hydee.StencilProgram(iters, 64*1024)
+
+	base := hydee.Config{
+		NP:              np,
+		Topo:            topo,
+		Protocol:        hydee.HydEE(),
+		Model:           hydee.Myrinet10G(),
+		CheckpointEvery: 4,
+	}
+
+	clean, err := hydee.Run(base, program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failure-free run:   makespan %v, %d messages, %d logged (%.1f%% of bytes)\n",
+		clean.Makespan, clean.Totals.AppSends, clean.Totals.LoggedMsgs,
+		100*float64(clean.Totals.LoggedBytes)/float64(clean.Totals.AppBytes))
+
+	failing := base
+	failing.Failures = hydee.NewFailureSchedule(hydee.FailureEvent{
+		Ranks: []int{5},
+		When:  hydee.FailureTrigger{AfterCheckpoints: 2},
+	})
+	failed, err := hydee.Run(failing, program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rd := failed.Rounds[0]
+	fmt.Printf("run with failure:   makespan %v, rolled back %d/%d ranks, recovery %v, %d orphans\n",
+		failed.Makespan, rd.RolledBack, np, rd.EndVT.Sub(rd.StartVT), rd.Orphans)
+
+	for r := 0; r < np; r++ {
+		if clean.Results[r] != failed.Results[r] {
+			log.Fatalf("rank %d diverged after recovery: %v vs %v", r, clean.Results[r], failed.Results[r])
+		}
+	}
+	fmt.Println("recovered execution matches the failure-free execution on every rank ✓")
+	fmt.Printf("containment: the failure of rank 5 rolled back only cluster 1 (ranks 4-7), "+
+		"while cluster 0 kept its work; %d logged messages were replayed\n",
+		failed.Totals.ResentLogged)
+}

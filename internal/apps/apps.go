@@ -1,0 +1,176 @@
+// Package apps provides send-deterministic communication kernels modeled on
+// the six NAS Parallel Benchmarks the paper evaluates (BT, CG, FT, LU, MG,
+// SP; class D on 256 processes), plus small synthetic applications used by
+// the tests.
+//
+// Each kernel reproduces the benchmark's communication *pattern* (who talks
+// to whom, how often) and its class-D communication *volume* (via modeled
+// wire sizes), while computing on a small real state vector so that the
+// recovered execution can be validated bit-for-bit against a failure-free
+// run. Per-iteration compute time is calibrated so communication is a
+// realistic fraction of the runtime; virtual time makes the absolute scale
+// free.
+//
+// All kernels are send-deterministic: receives are source- and
+// tag-directed, and the data sent never depends on the order in which
+// non-causally-related messages were delivered. The master/worker app is
+// the deliberate exception (§II-B: the only class of applications the model
+// excludes).
+package apps
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"hydee/internal/mpi"
+	"hydee/internal/vtime"
+)
+
+// Params scales a kernel run.
+type Params struct {
+	// NP is the number of ranks.
+	NP int
+	// Iters is the number of timesteps to execute (the class-D iteration
+	// count is Kernel.ClassIters; volumes extrapolate linearly).
+	Iters int
+	// SizeScale multiplies all modeled message sizes (default 1 = class
+	// D volumes).
+	SizeScale float64
+	// ComputeScale multiplies per-iteration compute time (default 1).
+	ComputeScale float64
+}
+
+func (p Params) normalize() Params {
+	if p.SizeScale <= 0 {
+		p.SizeScale = 1
+	}
+	if p.ComputeScale <= 0 {
+		p.ComputeScale = 1
+	}
+	if p.Iters <= 0 {
+		p.Iters = 1
+	}
+	return p
+}
+
+// Kernel describes one benchmark.
+type Kernel struct {
+	// Name is the NPB name (lowercase).
+	Name string
+	// ClassIters is the class-D iteration count, used to extrapolate
+	// whole-run volumes from short runs.
+	ClassIters int
+	// BytesPerRankIter is the modeled class-D communication volume one
+	// rank sends per iteration (all messages summed).
+	BytesPerRankIter float64
+	// Make builds the rank program.
+	Make func(p Params) (mpi.Program, error)
+}
+
+// State is the checkpointable per-rank state shared by all kernels.
+type State struct {
+	Iter int
+	V    []float64
+}
+
+// digest produces the rank's result fingerprint.
+func (s *State) digest(rank int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(uint64(rank))
+	put(uint64(s.Iter))
+	for _, v := range s.V {
+		put(math.Float64bits(v))
+	}
+	return h.Sum64()
+}
+
+// fold mixes received floats into the state deterministically.
+func (s *State) fold(in []float64) {
+	for i, v := range in {
+		j := i % len(s.V)
+		s.V[j] = s.V[j]*0.75 + v*0.25 + 1e-6*float64(j+1)
+	}
+}
+
+// slice returns a small real payload derived from the state.
+func (s *State) slice(k, salt int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = s.V[(i+salt)%len(s.V)] + float64(salt)*1e-9
+	}
+	return out
+}
+
+func newState(rank, width int) *State {
+	v := make([]float64, width)
+	for i := range v {
+		v[i] = float64(rank+1) * (1.0 + float64(i)*0.01)
+	}
+	return &State{V: v}
+}
+
+// payloadFloats is the real payload width (floats) of kernel messages.
+const payloadFloats = 4
+
+// grid2D factors np into a near-square rows x cols grid.
+func grid2D(np int) (rows, cols int) {
+	r := int(math.Sqrt(float64(np)))
+	for r > 1 && np%r != 0 {
+		r--
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r, np / r
+}
+
+// grid3D factors np into near-cubic x*y*z.
+func grid3D(np int) (x, y, z int) {
+	z = int(math.Cbrt(float64(np)))
+	for z > 1 && np%z != 0 {
+		z--
+	}
+	if z < 1 {
+		z = 1
+	}
+	rem := np / z
+	x, y = grid2D(rem)
+	return x, y, z
+}
+
+// wire converts a modeled byte count through the size scale.
+func wire(bytes float64, p Params) int {
+	w := int(bytes * p.SizeScale)
+	if w < 8*payloadFloats {
+		w = 8 * payloadFloats
+	}
+	return w
+}
+
+// compute converts seconds of class-D work through the compute scale.
+func compute(sec float64, p Params) vtime.Duration {
+	return vtime.Duration(sec * p.ComputeScale * 1e9)
+}
+
+// Registry lists the six NAS kernels in the paper's Table I order.
+func Registry() []Kernel {
+	return []Kernel{BT(), CG(), FT(), LU(), MG(), SP()}
+}
+
+// Get returns the kernel with the given name.
+func Get(name string) (Kernel, error) {
+	for _, k := range Registry() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("apps: unknown kernel %q", name)
+}

@@ -1,0 +1,146 @@
+package apps
+
+import (
+	"hydee/internal/mpi"
+)
+
+// LU is the SSOR solver. Its lower- and upper-triangular sweeps form a
+// pipelined wavefront across the 2D process grid: each rank receives from
+// its north and west neighbors, relaxes a block of k-planes, and forwards
+// to south and east (the upper sweep runs the reverse diagonal). This is
+// the longest causal chain of the six kernels — ideal for exercising phase
+// propagation. Traffic is row-biased, so the clustering tool cuts the grid
+// into row stripes (8 clusters of 32, 13.26% logged in Table I).
+//
+// Class D moves 337 GB on 256 ranks over ~300 timesteps: ~4.4 MB per
+// rank-iteration, in many medium-sized pipeline messages.
+func LU() Kernel {
+	const (
+		classIters = 300
+		steps      = 16    // wavefront k-plane blocks per sweep
+		southMsg   = 34e3  // per-step column-direction message
+		eastMsg    = 103e3 // per-step row-direction message (3x heavier)
+		computeSec = 0.012
+	)
+	return Kernel{
+		Name:             "lu",
+		ClassIters:       classIters,
+		BytesPerRankIter: 2 * steps * (southMsg + eastMsg),
+		Make: func(p Params) (mpi.Program, error) {
+			p = p.normalize()
+			return func(c *mpi.Comm) error {
+				np := c.Size()
+				rows, cols := grid2D(np)
+				rank := c.Rank()
+				r, col := rank/cols, rank%cols
+				north, south := -1, -1
+				west, east := -1, -1
+				if r > 0 {
+					north = (r-1)*cols + col
+				}
+				if r < rows-1 {
+					south = (r+1)*cols + col
+				}
+				if col > 0 {
+					west = r*cols + (col - 1)
+				}
+				if col < cols-1 {
+					east = r*cols + (col + 1)
+				}
+
+				st := newState(rank, 8)
+				if _, err := c.Restore(st); err != nil {
+					return err
+				}
+				c.SetStateBytes(int64(steps * (southMsg + eastMsg) * p.SizeScale))
+
+				sw := wire(southMsg, p)
+				ew := wire(eastMsg, p)
+				stepCompute := compute(computeSec/(2*steps), p)
+				const (
+					tagLow = 301
+					tagUp  = 302
+				)
+				recvFold := func(src, tag int) error {
+					got, _, err := c.Recv(src, tag)
+					if err != nil {
+						return err
+					}
+					in, err := mpi.BytesToFloat64s(got)
+					if err != nil {
+						return err
+					}
+					st.fold(in)
+					return nil
+				}
+				for st.Iter < p.Iters {
+					// Lower-triangular sweep: wavefront from (0,0).
+					for s := 0; s < steps; s++ {
+						if north >= 0 {
+							if err := recvFold(north, tagLow); err != nil {
+								return err
+							}
+						}
+						if west >= 0 {
+							if err := recvFold(west, tagLow); err != nil {
+								return err
+							}
+						}
+						if err := c.Compute(stepCompute); err != nil {
+							return err
+						}
+						if south >= 0 {
+							if err := c.SendW(south, tagLow, mpi.Float64sToBytes(st.slice(payloadFloats, s)), sw); err != nil {
+								return err
+							}
+						}
+						if east >= 0 {
+							if err := c.SendW(east, tagLow, mpi.Float64sToBytes(st.slice(payloadFloats, s+1)), ew); err != nil {
+								return err
+							}
+						}
+					}
+					// Upper-triangular sweep: wavefront from (rows-1,cols-1).
+					for s := 0; s < steps; s++ {
+						if south >= 0 {
+							if err := recvFold(south, tagUp); err != nil {
+								return err
+							}
+						}
+						if east >= 0 {
+							if err := recvFold(east, tagUp); err != nil {
+								return err
+							}
+						}
+						if err := c.Compute(stepCompute); err != nil {
+							return err
+						}
+						if north >= 0 {
+							if err := c.SendW(north, tagUp, mpi.Float64sToBytes(st.slice(payloadFloats, s+2)), sw); err != nil {
+								return err
+							}
+						}
+						if west >= 0 {
+							if err := c.SendW(west, tagUp, mpi.Float64sToBytes(st.slice(payloadFloats, s+3)), ew); err != nil {
+								return err
+							}
+						}
+					}
+					// Residual norm.
+					res, err := c.Allreduce([]float64{st.V[0], st.V[3]}, mpi.OpSum, 16)
+					if err != nil {
+						return err
+					}
+					st.fold(res)
+
+					st.Iter++
+					if err := c.Checkpoint(); err != nil {
+						return err
+					}
+				}
+				c.SetResult(st.digest(rank))
+				return nil
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,121 @@
+package apps
+
+import (
+	"hydee/internal/mpi"
+)
+
+// MG is the multigrid V-cycle kernel on a 3D process grid: at every grid
+// level each rank exchanges its six faces with its neighbors, with face
+// sizes shrinking by 4x per coarser level. The z faces are the smallest
+// (the paper's 256-rank runs use an 8x8x4 grid), so the clustering tool
+// cuts the grid into z slabs: 4 clusters of 64, logging ~20% (Table I).
+//
+// Class D moves 66 GB on 256 ranks; with ~50 V-cycles that is ~5.2 MB per
+// rank-iteration.
+func MG() Kernel {
+	const (
+		classIters = 50
+		faceXY     = 800e3 // finest-level x/y face
+		faceZ      = 400e3 // finest-level z face
+		levels     = 3
+		computeSec = 0.014
+	)
+	var perIter float64
+	scale := 1.0
+	for l := 0; l < levels; l++ {
+		perIter += 2 * (2*faceXY + faceZ) * scale
+		scale /= 4
+	}
+	return Kernel{
+		Name:             "mg",
+		ClassIters:       classIters,
+		BytesPerRankIter: perIter,
+		Make: func(p Params) (mpi.Program, error) {
+			p = p.normalize()
+			return func(c *mpi.Comm) error {
+				np := c.Size()
+				nx, ny, nz := grid3D(np)
+				rank := c.Rank()
+				// rank = (z*ny + y)*nx + x
+				x := rank % nx
+				y := (rank / nx) % ny
+				z := rank / (nx * ny)
+				at := func(xx, yy, zz int) int {
+					return (zz*ny+yy)*nx + xx
+				}
+				xp, xm := at((x+1)%nx, y, z), at((x-1+nx)%nx, y, z)
+				yp, ym := at(x, (y+1)%ny, z), at(x, (y-1+ny)%ny, z)
+				zp, zm := at(x, y, (z+1)%nz), at(x, y, (z-1+nz)%nz)
+
+				st := newState(rank, 8)
+				if _, err := c.Restore(st); err != nil {
+					return err
+				}
+				c.SetStateBytes(int64(2 * (2*faceXY + faceZ) * p.SizeScale))
+
+				const tagMG = 401
+				exchange := func(plus, minus, w, tag int, salt int) error {
+					if plus == c.Rank() {
+						return nil // dimension of extent 1
+					}
+					got, err := c.SendRecvW(plus, tag,
+						mpi.Float64sToBytes(st.slice(payloadFloats, salt)), w,
+						minus, tag)
+					if err != nil {
+						return err
+					}
+					in, err := mpi.BytesToFloat64s(got)
+					if err != nil {
+						return err
+					}
+					st.fold(in)
+					got, err = c.SendRecvW(minus, tag+1,
+						mpi.Float64sToBytes(st.slice(payloadFloats, salt+1)), w,
+						plus, tag+1)
+					if err != nil {
+						return err
+					}
+					if in, err = mpi.BytesToFloat64s(got); err != nil {
+						return err
+					}
+					st.fold(in)
+					return nil
+				}
+				for st.Iter < p.Iters {
+					lscale := 1.0
+					for l := 0; l < levels; l++ {
+						wxy := wire(faceXY*lscale, p)
+						wz := wire(faceZ*lscale, p)
+						tag := tagMG + 10*l
+						if err := exchange(xp, xm, wxy, tag, l); err != nil {
+							return err
+						}
+						if err := exchange(yp, ym, wxy, tag+2, l+3); err != nil {
+							return err
+						}
+						if err := exchange(zp, zm, wz, tag+4, l+5); err != nil {
+							return err
+						}
+						if err := c.Compute(compute(computeSec/levels, p)); err != nil {
+							return err
+						}
+						lscale /= 4
+					}
+					// Norm check.
+					res, err := c.Allreduce([]float64{st.V[2]}, mpi.OpSum, 8)
+					if err != nil {
+						return err
+					}
+					st.fold(res)
+
+					st.Iter++
+					if err := c.Checkpoint(); err != nil {
+						return err
+					}
+				}
+				c.SetResult(st.digest(rank))
+				return nil
+			}, nil
+		},
+	}
+}

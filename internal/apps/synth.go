@@ -1,0 +1,268 @@
+package apps
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"hydee/internal/mpi"
+)
+
+// payloadHash is a deterministic 64-bit hash of a payload.
+func payloadHash(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Synthetic applications used by tests, examples and the property suite.
+
+// Ring builds a token-accumulation ring: iteration i, each rank sends its
+// accumulator to (rank+1)%np and folds in the value from (rank-1+np)%np.
+func Ring(iters, msgBytes int) mpi.Program {
+	return func(c *mpi.Comm) error {
+		np := c.Size()
+		rank := c.Rank()
+		next, prev := (rank+1)%np, (rank-1+np)%np
+		st := newState(rank, 4)
+		if _, err := c.Restore(st); err != nil {
+			return err
+		}
+		for st.Iter < iters {
+			if np > 1 {
+				if err := c.SendW(next, 11, mpi.Float64sToBytes(st.slice(payloadFloats, st.Iter)), msgBytes); err != nil {
+					return err
+				}
+				got, _, err := c.Recv(prev, 11)
+				if err != nil {
+					return err
+				}
+				in, err := mpi.BytesToFloat64s(got)
+				if err != nil {
+					return err
+				}
+				st.fold(in)
+			}
+			st.Iter++
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		c.SetResult(st.digest(rank))
+		return nil
+	}
+}
+
+// Stencil2D builds a 4-neighbor halo-exchange iteration on a 2D torus,
+// the generic pattern the paper's introduction motivates.
+func Stencil2D(iters, msgBytes int) mpi.Program {
+	return func(c *mpi.Comm) error {
+		np := c.Size()
+		rows, cols := grid2D(np)
+		rank := c.Rank()
+		r, col := rank/cols, rank%cols
+		east := r*cols + (col+1)%cols
+		west := r*cols + (col-1+cols)%cols
+		south := ((r+1)%rows)*cols + col
+		north := ((r-1+rows)%rows)*cols + col
+
+		st := newState(rank, 8)
+		if _, err := c.Restore(st); err != nil {
+			return err
+		}
+		const tag = 21
+		for st.Iter < iters {
+			if cols > 1 {
+				got, err := c.SendRecvW(east, tag, mpi.Float64sToBytes(st.slice(payloadFloats, 0)), msgBytes, west, tag)
+				if err != nil {
+					return err
+				}
+				in, err := mpi.BytesToFloat64s(got)
+				if err != nil {
+					return err
+				}
+				st.fold(in)
+				got, err = c.SendRecvW(west, tag+1, mpi.Float64sToBytes(st.slice(payloadFloats, 1)), msgBytes, east, tag+1)
+				if err != nil {
+					return err
+				}
+				if in, err = mpi.BytesToFloat64s(got); err != nil {
+					return err
+				}
+				st.fold(in)
+			}
+			if rows > 1 {
+				got, err := c.SendRecvW(south, tag+2, mpi.Float64sToBytes(st.slice(payloadFloats, 2)), msgBytes, north, tag+2)
+				if err != nil {
+					return err
+				}
+				in, err := mpi.BytesToFloat64s(got)
+				if err != nil {
+					return err
+				}
+				st.fold(in)
+				got, err = c.SendRecvW(north, tag+3, mpi.Float64sToBytes(st.slice(payloadFloats, 3)), msgBytes, south, tag+3)
+				if err != nil {
+					return err
+				}
+				if in, err = mpi.BytesToFloat64s(got); err != nil {
+					return err
+				}
+				st.fold(in)
+			}
+			st.Iter++
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		c.SetResult(st.digest(rank))
+		return nil
+	}
+}
+
+// MasterWorker builds the one pattern the send-deterministic model excludes
+// (§II-B): rank 0 hands tasks to whichever worker answers first
+// (MPI_ANY_SOURCE), so the sequence of sends depends on message arrival
+// order. Used as a negative control in the determinism tests.
+func MasterWorker(tasks int) mpi.Program {
+	return func(c *mpi.Comm) error {
+		np := c.Size()
+		if np < 2 {
+			return fmt.Errorf("apps: masterworker needs at least 2 ranks")
+		}
+		const (
+			tagTask = 31
+			tagDone = 32
+			tagStop = 33
+		)
+		if c.Rank() == 0 {
+			issued := 0
+			// Prime one task per worker.
+			for w := 1; w < np && issued < tasks; w++ {
+				if err := c.Send(w, tagTask, mpi.Float64sToBytes([]float64{float64(issued)})); err != nil {
+					return err
+				}
+				issued++
+			}
+			var order []int
+			// Every issued task produces exactly one completion.
+			for done := 0; done < tasks; done++ {
+				got, stat, err := c.Recv(mpi.AnySource, tagDone)
+				if err != nil {
+					return err
+				}
+				_ = got
+				order = append(order, stat.Source)
+				if issued < tasks {
+					if err := c.Send(stat.Source, tagTask, mpi.Float64sToBytes([]float64{float64(issued)})); err != nil {
+						return err
+					}
+					issued++
+				}
+			}
+			for w := 1; w < np; w++ {
+				if err := c.Send(w, tagStop, nil); err != nil {
+					return err
+				}
+			}
+			c.SetResult(fmt.Sprintf("%v", order))
+			return nil
+		}
+		var acc float64
+		for {
+			data, stat, err := c.Recv(0, mpi.AnyTag)
+			if err != nil {
+				return err
+			}
+			if stat.Tag == tagStop {
+				break
+			}
+			in, err := mpi.BytesToFloat64s(data)
+			if err != nil {
+				return err
+			}
+			acc += in[0]
+			if err := c.Send(0, tagDone, mpi.Float64sToBytes([]float64{acc})); err != nil {
+				return err
+			}
+		}
+		c.SetResult(acc)
+		return nil
+	}
+}
+
+// RandomDAG builds a seeded random—but send-deterministic—communication
+// pattern for the property tests. Every rank derives the same global
+// schedule from the seed: each round lists directed (src, dst) pairs. A
+// receiver posts one wildcard receive per expected message and folds
+// payloads commutatively, so delivery order (which genuinely varies between
+// runs) cannot influence what it later sends — the defining property of
+// Definition 3.
+func RandomDAG(seed int64, rounds, maxFanout, msgBytes int) mpi.Program {
+	return func(c *mpi.Comm) error {
+		np := c.Size()
+		rank := c.Rank()
+		rng := rand.New(rand.NewSource(seed))
+		// Global schedule: schedule[round][src] = destinations.
+		sched := make([][][]int, rounds)
+		for rd := range sched {
+			sched[rd] = make([][]int, np)
+			for src := 0; src < np; src++ {
+				n := rng.Intn(maxFanout + 1)
+				for k := 0; k < n; k++ {
+					dst := rng.Intn(np)
+					if dst != src {
+						sched[rd][src] = append(sched[rd][src], dst)
+					}
+				}
+			}
+		}
+		st := newState(rank, 8)
+		if _, err := c.Restore(st); err != nil {
+			return err
+		}
+		for st.Iter < rounds {
+			rd := st.Iter
+			// The tag encodes the round so a fast sender's next-round
+			// message cannot match this round's wildcard receives.
+			tag := 41_000 + rd
+			// Sends first: payload depends only on the state before this
+			// round's receives.
+			out := mpi.Float64sToBytes(st.slice(payloadFloats, rd))
+			for _, dst := range sched[rd][rank] {
+				if err := c.SendW(dst, tag, out, msgBytes); err != nil {
+					return err
+				}
+			}
+			// Count expected messages and receive them in arrival order.
+			expected := 0
+			for src := 0; src < np; src++ {
+				for _, dst := range sched[rd][src] {
+					if dst == rank {
+						expected++
+					}
+				}
+			}
+			// Exactly order-independent fold: uint64 wraparound addition
+			// of payload hashes. Floating-point addition would leak the
+			// arrival order through rounding and break send-determinism.
+			var sum uint64
+			for k := 0; k < expected; k++ {
+				got, _, err := c.Recv(mpi.AnySource, tag)
+				if err != nil {
+					return err
+				}
+				sum += payloadHash(got)
+			}
+			idx := rd % len(st.V)
+			st.V[idx] = float64((math.Float64bits(st.V[idx]) + sum) % (1 << 40))
+			st.Iter++
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		c.SetResult(st.digest(rank))
+		return nil
+	}
+}

@@ -1,0 +1,79 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"hydee/internal/transport"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{
+		Rank:     2,
+		Seq:      1,
+		AppState: []byte{1, 2, 3},
+		Mailbox:  []*transport.Msg{{Src: 0, Dst: 2, Date: 7, Data: []byte{9}}},
+	}
+	if _, err := st.Save(snap, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := st.Load(2, 1, 0)
+	if !ok {
+		t.Fatal("snapshot not found")
+	}
+	if got.AppState[0] != 1 || len(got.Mailbox) != 1 || got.Mailbox[0].Date != 7 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if st.LatestSeq(2) != 1 {
+		t.Fatal("latest wrong")
+	}
+}
+
+func TestFileStoreRecoversIndexFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 3; seq++ {
+		if _, err := st.Save(&Snapshot{Rank: 5, Seq: seq}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen over the same directory: the index must be rebuilt.
+	st2, err := NewFileStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.LatestSeq(5) != 3 {
+		t.Fatalf("reopened latest %d", st2.LatestSeq(5))
+	}
+	if _, _, ok := st2.Load(5, 3, 0); !ok {
+		t.Fatal("snapshot unreadable after reopen")
+	}
+}
+
+func TestFileStorePrunesOldGenerations(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 6; seq++ {
+		if _, err := st.Save(&Snapshot{Rank: 0, Seq: seq}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := st.Load(0, 1, 0); ok {
+		t.Fatal("generation 1 should be pruned")
+	}
+	for seq := 4; seq <= 6; seq++ {
+		if _, _, ok := st.Load(0, seq, 0); !ok {
+			t.Fatalf("generation %d missing", seq)
+		}
+	}
+}

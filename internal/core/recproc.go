@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"hydee/internal/rollback"
+)
+
+// recovery is the per-round recovery process of Algorithm 4. It is launched
+// when a failure occurs, collects one report from every application
+// process, and gates message (re)sending by phase: nothing may be (re)sent
+// in phase p while an orphan message of a phase strictly below p is
+// outstanding.
+type recovery struct {
+	rx rollback.RecoveryContext
+}
+
+// Run implements rollback.Recovery.
+func (rp *recovery) Run(round rollback.RoundInfo) (rollback.RecoveryStats, error) {
+	np := rp.rx.Topo().NP
+	stats := rollback.RecoveryStats{
+		Round:      round.Round,
+		RolledBack: len(round.RolledBack),
+		StartVT:    round.DetectVT,
+	}
+
+	// Announce the round so survivors know which rollback notifications
+	// to collect before reporting.
+	start := RoundStart{
+		Round:      round.Round,
+		RolledBack: append([]int(nil), round.RolledBack...),
+		AllIncs:    append([]int32(nil), round.AllIncs...),
+	}
+	for r := 0; r < np; r++ {
+		rp.rx.SendCtl(r, start, wireRoundStart)
+		stats.CtlMsgs++
+	}
+
+	// NbOrphanPhase / MsgLPhase / ProcessPhase of Algorithm 4.
+	nbOrphan := make(map[int]int)
+	logProcs := make(map[int]map[int]bool)
+	msgProcs := make(map[int]map[int]bool)
+
+	reports := 0
+	for reports < np {
+		m, err := rp.rx.Recv()
+		if err != nil {
+			return stats, fmt.Errorf("core: recovery round %d: %w", round.Round, err)
+		}
+		switch b := m.CtlBody.(type) {
+		case Report:
+			if b.Round != round.Round {
+				continue
+			}
+			reports++
+			for _, ph := range b.OrphanPhases {
+				nbOrphan[ph]++
+				stats.Orphans++
+			}
+			for _, ph := range b.LogPhases {
+				if logProcs[ph] == nil {
+					logProcs[ph] = make(map[int]bool)
+				}
+				logProcs[ph][m.Src] = true
+			}
+			if msgProcs[b.OwnPhase] == nil {
+				msgProcs[b.OwnPhase] = make(map[int]bool)
+			}
+			msgProcs[b.OwnPhase][m.Src] = true
+		case OrphanNotification:
+			// Cannot normally precede the report barrier (senders are
+			// gated), but handle defensively.
+			if b.Round == round.Round {
+				nbOrphan[b.Phase]--
+			}
+		}
+	}
+
+	release := func() error {
+		minBlocked := int(^uint(0) >> 1) // max int
+		for ph, n := range nbOrphan {
+			if n < 0 {
+				return fmt.Errorf("core: recovery round %d: orphan count for phase %d went negative", round.Round, ph)
+			}
+			if n > 0 && ph < minBlocked {
+				minBlocked = ph
+			}
+		}
+		// NotifySendLog: logged messages of phase p may be re-sent when no
+		// orphan of a phase strictly below p is outstanding (lines 17-20).
+		perProc := make(map[int]int)
+		for ph, procs := range logProcs {
+			if ph > minBlocked {
+				continue
+			}
+			for proc := range procs {
+				if cur, ok := perProc[proc]; !ok || ph > cur {
+					perProc[proc] = ph
+				}
+			}
+			delete(logProcs, ph)
+		}
+		for proc, ph := range perProc {
+			rp.rx.SendCtl(proc, NotifySendLog{Round: round.Round, Phase: ph}, wireNotify)
+			stats.CtlMsgs++
+		}
+		// NotifySendMsg: a process reported in phase p may send when no
+		// orphan of a phase strictly below p is outstanding (lines 21-23).
+		for ph, procs := range msgProcs {
+			if ph > minBlocked {
+				continue
+			}
+			for proc := range procs {
+				rp.rx.SendCtl(proc, NotifySendMsg{Round: round.Round, Phase: ph}, wireNotify)
+				stats.CtlMsgs++
+			}
+			delete(msgProcs, ph)
+		}
+		return nil
+	}
+
+	outstanding := func() bool {
+		if len(logProcs) > 0 || len(msgProcs) > 0 {
+			return true
+		}
+		for _, n := range nbOrphan {
+			if n > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	if err := release(); err != nil {
+		return stats, err
+	}
+	for outstanding() {
+		m, err := rp.rx.Recv()
+		if err != nil {
+			return stats, fmt.Errorf("core: recovery round %d: %w", round.Round, err)
+		}
+		b, ok := m.CtlBody.(OrphanNotification)
+		if !ok || b.Round != round.Round {
+			continue
+		}
+		nbOrphan[b.Phase]--
+		if nbOrphan[b.Phase] == 0 {
+			delete(nbOrphan, b.Phase)
+			if err := release(); err != nil {
+				return stats, err
+			}
+		} else if nbOrphan[b.Phase] < 0 {
+			return stats, fmt.Errorf("core: recovery round %d: orphan count for phase %d went negative", round.Round, b.Phase)
+		}
+	}
+	stats.EndVT = rp.rx.Now()
+	return stats, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+// Property-based tests (testing/quick) of the protocol's core data
+// structures: the sender-based log store and the RPP table. These are the
+// structures whose invariants the recovery machinery rests on.
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestLogStoreProperties: for any sequence of monotone-dated entries and
+// any watermark w, above(w) and pruneUpTo(w) partition the entries exactly,
+// byte accounting matches, and above() results are date-sorted.
+func TestLogStoreProperties(t *testing.T) {
+	f := func(gaps []uint8, wseed uint16) bool {
+		ls := newLogStore()
+		date := int64(0)
+		var total int64
+		for i, g := range gaps {
+			date += int64(g%7) + 1 // strictly increasing dates
+			wire := (i % 13) + 1
+			ls.add(logEntry{Dst: 3, Date: date, Phase: i % 5, WireLen: wire})
+			total += int64(wire)
+		}
+		if ls.Bytes != total {
+			return false
+		}
+		if date == 0 {
+			return true
+		}
+		w := int64(wseed) % (date + 2)
+		above := ls.above(3, w)
+		for i, e := range above {
+			if e.Date <= w {
+				return false
+			}
+			if i > 0 && above[i].Date < above[i-1].Date {
+				return false
+			}
+		}
+		var aboveBytes int64
+		for _, e := range above {
+			aboveBytes += int64(e.WireLen)
+		}
+		reclaimed := ls.pruneUpTo(3, w)
+		if reclaimed != total-aboveBytes {
+			return false
+		}
+		if ls.Bytes != aboveBytes {
+			return false
+		}
+		// After pruning, everything is above the watermark.
+		rest := ls.above(3, 0)
+		if len(rest) != len(above) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRPPChannelProperties: MaxDate equals the maximum recorded date, every
+// record is retrievable with its phase, and pruneUpTo removes exactly the
+// entries at or below the bound while never lowering MaxDate (the watermark
+// must survive pruning — the sender can still suppress against it).
+func TestRPPChannelProperties(t *testing.T) {
+	f := func(raw []uint16, bound uint16) bool {
+		ch := newRPPChannel()
+		seen := make(map[int64]int)
+		var max int64
+		for i, r := range raw {
+			d := int64(r%97) + 1
+			ph := i % 9
+			ch.record(d, ph)
+			seen[d] = ph
+			if d > max {
+				max = d
+			}
+		}
+		if ch.MaxDate != max {
+			return false
+		}
+		for d, ph := range seen {
+			if ch.Phases[d] != ph {
+				return false
+			}
+		}
+		b := int64(bound % 120)
+		ch.pruneUpTo(b)
+		for d := range ch.Phases {
+			if d <= b {
+				return false
+			}
+		}
+		for d, ph := range seen {
+			if d > b && ch.Phases[d] != ph {
+				return false
+			}
+		}
+		return ch.MaxDate == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhaseUpdateProperties: the Algorithm 1 phase rules as pure
+// properties — after any delivery the phase never decreases; an
+// inter-cluster delivery leaves the phase strictly above the message phase;
+// an intra-cluster one at least at the message phase.
+func TestPhaseUpdateProperties(t *testing.T) {
+	f := func(phases []uint8, interMask uint16) bool {
+		e, _ := newTestEngine(0, []int{0, 0, 1})
+		for i, p := range phases {
+			inter := interMask&(1<<(i%16)) != 0
+			src := 1 // intra
+			if inter {
+				src = 2
+			}
+			m := appMsg(src, 0, 1, 10)
+			m.Date = int64(i) + 1
+			m.Phase = int(p % 12)
+			before := e.phase
+			e.OnDeliver(m)
+			if e.phase < before {
+				return false
+			}
+			if inter && e.phase < m.Phase+1 {
+				return false
+			}
+			if !inter && e.phase < m.Phase {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package failure injects fail-stop process failures into a run.
+//
+// The paper assumes a fail-stop failure model with multiple concurrent
+// failures (§II-A). A Schedule is a list of Events; each event names the
+// process(es) that die together and the condition under which the event
+// fires. Conditions are evaluated at the victims' own interaction points
+// with the runtime (sends, receives, checkpoint calls), which makes the
+// injection deterministic with respect to virtual time and operation counts.
+package failure
+
+import (
+	"sync"
+
+	"hydee/internal/vtime"
+)
+
+// Trigger describes when an event fires, evaluated against the first listed
+// victim's progress. Exactly one field should be set.
+type Trigger struct {
+	// AtVT fires once the victim's virtual clock reaches this time.
+	AtVT vtime.Time
+	// AfterSends fires once the victim has posted this many application
+	// sends.
+	AfterSends int64
+	// AfterCheckpoints fires once the victim has completed this many
+	// checkpoints.
+	AfterCheckpoints int
+}
+
+// Event is one (possibly multi-process) concurrent failure.
+type Event struct {
+	// Ranks lists the processes that fail together. With a clustered
+	// protocol, killing one process rolls back its whole cluster; listing
+	// ranks from different clusters exercises multiple concurrent cluster
+	// failures.
+	Ranks []int
+	When  Trigger
+}
+
+// Schedule is an ordered list of failure events.
+type Schedule struct {
+	Events []Event
+}
+
+// NewSchedule builds a schedule from events.
+func NewSchedule(events ...Event) *Schedule {
+	return &Schedule{Events: events}
+}
+
+// Injector tracks progress and decides when a process must die. It is safe
+// for concurrent use by all process goroutines.
+type Injector struct {
+	mu     sync.Mutex
+	events []Event
+	fired  []bool
+}
+
+// NewInjector compiles a schedule. A nil schedule yields an injector that
+// never fires.
+func NewInjector(s *Schedule) *Injector {
+	if s == nil {
+		return &Injector{}
+	}
+	return &Injector{
+		events: append([]Event(nil), s.Events...),
+		fired:  make([]bool, len(s.Events)),
+	}
+}
+
+// Progress is the victim-side state a trigger is evaluated against.
+type Progress struct {
+	VT          vtime.Time
+	Sends       int64
+	Checkpoints int
+}
+
+// Due reports, for the process `rank` at the given progress, the ranks that
+// must be killed now (including rank itself). It returns nil if no event
+// fires. An event fires at most once, when its first victim reaches the
+// trigger.
+func (in *Injector) Due(rank int, p Progress) []int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, ev := range in.events {
+		if in.fired[i] || len(ev.Ranks) == 0 || ev.Ranks[0] != rank {
+			continue
+		}
+		t := ev.When
+		hit := false
+		switch {
+		case t.AtVT > 0:
+			hit = p.VT >= t.AtVT
+		case t.AfterSends > 0:
+			hit = p.Sends >= t.AfterSends
+		case t.AfterCheckpoints > 0:
+			hit = p.Checkpoints >= t.AfterCheckpoints
+		}
+		if hit {
+			in.fired[i] = true
+			return append([]int(nil), ev.Ranks...)
+		}
+	}
+	return nil
+}
+
+// Remaining reports how many events have not fired yet.
+func (in *Injector) Remaining() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, f := range in.fired {
+		if !f {
+			n++
+		}
+	}
+	return n
+}
+
+// AllFired reports whether every scheduled event has fired.
+func (in *Injector) AllFired() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, f := range in.fired {
+		if !f {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package failure
+
+import (
+	"testing"
+
+	"hydee/internal/vtime"
+)
+
+func TestTriggerAtVT(t *testing.T) {
+	in := NewInjector(NewSchedule(Event{
+		Ranks: []int{2},
+		When:  Trigger{AtVT: vtime.Time(100)},
+	}))
+	if got := in.Due(2, Progress{VT: 99}); got != nil {
+		t.Fatalf("fired early: %v", got)
+	}
+	if got := in.Due(1, Progress{VT: 1000}); got != nil {
+		t.Fatal("fired for the wrong rank")
+	}
+	got := in.Due(2, Progress{VT: 100})
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("due: %v", got)
+	}
+	// Fires only once.
+	if got := in.Due(2, Progress{VT: 200}); got != nil {
+		t.Fatal("fired twice")
+	}
+	if !in.AllFired() {
+		t.Fatal("AllFired false")
+	}
+}
+
+func TestTriggerAfterSends(t *testing.T) {
+	in := NewInjector(NewSchedule(Event{
+		Ranks: []int{0, 5},
+		When:  Trigger{AfterSends: 3},
+	}))
+	if in.Due(0, Progress{Sends: 2}) != nil {
+		t.Fatal("fired early")
+	}
+	got := in.Due(0, Progress{Sends: 3})
+	if len(got) != 2 || got[1] != 5 {
+		t.Fatalf("multi-rank event wrong: %v", got)
+	}
+}
+
+func TestTriggerAfterCheckpoints(t *testing.T) {
+	in := NewInjector(NewSchedule(Event{
+		Ranks: []int{1},
+		When:  Trigger{AfterCheckpoints: 2},
+	}))
+	if in.Due(1, Progress{Checkpoints: 1}) != nil {
+		t.Fatal("fired early")
+	}
+	if in.Due(1, Progress{Checkpoints: 2}) == nil {
+		t.Fatal("did not fire")
+	}
+}
+
+func TestMultipleEventsIndependent(t *testing.T) {
+	in := NewInjector(NewSchedule(
+		Event{Ranks: []int{0}, When: Trigger{AfterSends: 1}},
+		Event{Ranks: []int{1}, When: Trigger{AfterSends: 1}},
+	))
+	if in.Remaining() != 2 {
+		t.Fatalf("remaining %d", in.Remaining())
+	}
+	if in.Due(0, Progress{Sends: 1}) == nil {
+		t.Fatal("event 0 did not fire")
+	}
+	if in.Remaining() != 1 {
+		t.Fatalf("remaining %d after one", in.Remaining())
+	}
+	if in.Due(1, Progress{Sends: 5}) == nil {
+		t.Fatal("event 1 did not fire")
+	}
+	if !in.AllFired() {
+		t.Fatal("AllFired false")
+	}
+}
+
+func TestNilScheduleNeverFires(t *testing.T) {
+	in := NewInjector(nil)
+	if in.Due(0, Progress{VT: 1 << 60, Sends: 1 << 40}) != nil {
+		t.Fatal("nil schedule fired")
+	}
+	if !in.AllFired() {
+		t.Fatal("empty injector should report all fired")
+	}
+}
+
+func TestEmptyTriggerNeverFires(t *testing.T) {
+	in := NewInjector(NewSchedule(Event{Ranks: []int{0}}))
+	if in.Due(0, Progress{VT: 1 << 60, Sends: 1 << 40, Checkpoints: 1 << 30}) != nil {
+		t.Fatal("empty trigger fired")
+	}
+}

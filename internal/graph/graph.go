@@ -1,0 +1,468 @@
+// Package graph implements the communication-graph clustering tool HydEE
+// depends on.
+//
+// The paper (§V-B3) clusters application processes with the off-line tool of
+// Ropars et al. (Euro-Par 2011): given a weighted graph of the bytes
+// exchanged on every channel, find a partition that trades off the size of
+// the clusters (which bounds how many processes roll back after a failure)
+// against the volume of inter-cluster traffic (which must be logged).
+//
+// This package provides the weighted graph, quality metrics (logged-byte
+// fraction, expected rollback fraction), and a partitioner: greedy seeded
+// growth followed by Kernighan–Lin style refinement, swept over candidate
+// cluster counts and scored by the combined objective. The outputs populate
+// Table I of the paper.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an undirected weighted communication graph: W[i][j] is the number
+// of bytes exchanged between processes i and j (both directions summed).
+type Graph struct {
+	N     int
+	W     [][]float64
+	Total float64 // sum over unordered pairs
+}
+
+// New creates an empty graph over n vertices.
+func New(n int) *Graph {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	return &Graph{N: n, W: w}
+}
+
+// AddTraffic accumulates bytes exchanged between i and j (symmetric).
+func (g *Graph) AddTraffic(i, j int, bytes float64) {
+	if i == j || bytes == 0 {
+		return
+	}
+	g.W[i][j] += bytes
+	g.W[j][i] += bytes
+	g.Total += bytes
+}
+
+// FromPairBytes builds a graph from an np*np row-major matrix of directed
+// byte counts (row = sender), symmetrizing it. A nil or short matrix yields
+// an empty graph over np vertices.
+func FromPairBytes(np int, bytes []int64) *Graph {
+	g := New(np)
+	if len(bytes) < np*np {
+		return g
+	}
+	for i := 0; i < np; i++ {
+		for j := i + 1; j < np; j++ {
+			b := float64(bytes[i*np+j] + bytes[j*np+i])
+			if b > 0 {
+				g.AddTraffic(i, j, b)
+			}
+		}
+	}
+	return g
+}
+
+// Degree is the total traffic of vertex i.
+func (g *Graph) Degree(i int) float64 {
+	var d float64
+	for j := 0; j < g.N; j++ {
+		d += g.W[i][j]
+	}
+	return d
+}
+
+// CutFraction reports the fraction of total traffic crossing the partition:
+// the fraction of bytes HydEE would log. assign[i] is the cluster of i.
+func (g *Graph) CutFraction(assign []int) float64 {
+	if g.Total == 0 {
+		return 0
+	}
+	var cut float64
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if assign[i] != assign[j] {
+				cut += g.W[i][j]
+			}
+		}
+	}
+	return cut / g.Total
+}
+
+// CutBytes reports the absolute inter-cluster traffic in bytes.
+func (g *Graph) CutBytes(assign []int) float64 {
+	var cut float64
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if assign[i] != assign[j] {
+				cut += g.W[i][j]
+			}
+		}
+	}
+	return cut
+}
+
+// ExpectedRollback is the average fraction of processes that roll back after
+// a single failure when failures are uniformly distributed over processes
+// (Table I, column 2): sum over clusters of (size/N)^2.
+func ExpectedRollback(assign []int, n int) float64 {
+	sizes := ClusterSizes(assign)
+	var s float64
+	for _, sz := range sizes {
+		f := float64(sz) / float64(n)
+		s += f * f
+	}
+	return s
+}
+
+// ClusterSizes returns the size of each cluster indexed by cluster id,
+// compacting ids to 0..k-1 in order of first appearance.
+func ClusterSizes(assign []int) []int {
+	idx := make(map[int]int)
+	var sizes []int
+	for _, c := range assign {
+		k, ok := idx[c]
+		if !ok {
+			k = len(sizes)
+			idx[c] = k
+			sizes = append(sizes, 0)
+		}
+		sizes[k]++
+	}
+	return sizes
+}
+
+// Normalize rewrites assign in place so cluster ids are 0..k-1 in order of
+// first appearance, and returns the number of clusters.
+func Normalize(assign []int) int {
+	idx := make(map[int]int)
+	for i, c := range assign {
+		k, ok := idx[c]
+		if !ok {
+			k = len(idx)
+			idx[c] = k
+		}
+		assign[i] = k
+	}
+	return len(idx)
+}
+
+// Options configures the clustering sweep.
+type Options struct {
+	// CandidateK lists the cluster counts to try. Empty uses a default
+	// sweep.
+	CandidateK []int
+	// MaxClusterFrac bounds every cluster to at most this fraction of the
+	// processes (0 disables the bound). The paper's tool keeps clusters
+	// small enough that a failure rolls back a limited share of processes.
+	MaxClusterFrac float64
+	// Lambda weighs the expected-rollback fraction against the logged
+	// fraction in the objective score = cut + Lambda*rollback.
+	Lambda float64
+	// Refinements is the number of KL refinement passes per candidate.
+	Refinements int
+	// Restarts is the number of random greedy seedings tried per
+	// candidate k (best cut kept).
+	Restarts int
+	// Seed makes the sweep deterministic.
+	Seed int64
+}
+
+// DefaultOptions mirrors the trade-off of the paper's tool: clusters of at
+// most ~25% of the processes, mild pressure toward more, smaller clusters.
+func DefaultOptions() Options {
+	return Options{
+		CandidateK:     []int{2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32},
+		MaxClusterFrac: 0.30,
+		Lambda:         0.50,
+		Refinements:    8,
+		Restarts:       4,
+		Seed:           1,
+	}
+}
+
+// Result is the outcome of a clustering sweep.
+type Result struct {
+	Assign      []int
+	K           int
+	CutFrac     float64
+	CutBytes    float64
+	TotalBytes  float64
+	ExpRollback float64
+	Score       float64
+}
+
+// Cluster runs the sweep and returns the best-scoring partition.
+func Cluster(g *Graph, opt Options) Result {
+	if len(opt.CandidateK) == 0 {
+		opt = DefaultOptions()
+	}
+	best := Result{Score: -1}
+	restarts := opt.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	for _, k := range opt.CandidateK {
+		if k < 1 || k > g.N {
+			continue
+		}
+		maxSize := g.N
+		if opt.MaxClusterFrac > 0 {
+			maxSize = int(opt.MaxClusterFrac * float64(g.N))
+			if maxSize < (g.N+k-1)/k {
+				maxSize = (g.N + k - 1) / k // must be feasible
+			}
+		}
+		for r := 0; r < restarts; r++ {
+			assign := PartitionK(g, k, maxSize, opt.Refinements, opt.Seed+int64(31*r))
+			kk := Normalize(assign)
+			cut := g.CutFraction(assign)
+			rb := ExpectedRollback(assign, g.N)
+			score := cut + opt.Lambda*rb
+			if best.Score < 0 || score < best.Score {
+				best = Result{
+					Assign:      assign,
+					K:           kk,
+					CutFrac:     cut,
+					CutBytes:    g.CutBytes(assign),
+					TotalBytes:  g.Total,
+					ExpRollback: rb,
+					Score:       score,
+				}
+			}
+		}
+	}
+	if best.Score < 0 {
+		assign := make([]int, g.N)
+		best = Result{Assign: assign, K: 1, ExpRollback: 1, TotalBytes: g.Total}
+	}
+	return best
+}
+
+// PartitionK partitions g into k clusters of at most maxSize vertices using
+// greedy seeded growth followed by refinement: alternating single-vertex
+// move passes and pairwise swap passes (swaps escape the balance-locked
+// minima that plain moves cannot leave on symmetric graphs).
+func PartitionK(g *Graph, k, maxSize, refine int, seed int64) []int {
+	n := g.N
+	assign := greedyGrow(g, k, maxSize, seed)
+	for pass := 0; pass < refine; pass++ {
+		moved := klPass(g, assign, maxSize)
+		swapped := swapPass(g, assign)
+		if !moved && !swapped {
+			break
+		}
+	}
+	if len(assign) != n {
+		panic(fmt.Sprintf("graph: partition size %d != %d", len(assign), n))
+	}
+	return assign
+}
+
+// greedyGrow seeds k clusters on high-traffic vertices spread apart, then
+// grows them by repeatedly giving the least-filled cluster the unassigned
+// vertex with the highest connectivity to it.
+func greedyGrow(g *Graph, k, maxSize int, seed int64) []int {
+	n := g.N
+	rng := rand.New(rand.NewSource(seed))
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	// Seed selection: highest-degree vertex first, then farthest (least
+	// connected to chosen seeds) among high-degree candidates. The
+	// pre-shuffle randomizes tie-breaking on symmetric graphs so restarts
+	// explore different partitions.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	sort.SliceStable(order, func(a, b int) bool { return g.Degree(order[a]) > g.Degree(order[b]) })
+	seeds := []int{order[0]}
+	for len(seeds) < k {
+		bestV, bestConn := -1, 0.0
+		for _, v := range order {
+			if assign[v] != -1 || contains(seeds, v) {
+				continue
+			}
+			var conn float64
+			for _, s := range seeds {
+				conn += g.W[v][s]
+			}
+			if bestV == -1 || conn < bestConn {
+				bestV, bestConn = v, conn
+			}
+		}
+		if bestV == -1 {
+			bestV = rng.Intn(n)
+		}
+		seeds = append(seeds, bestV)
+	}
+	sizes := make([]int, k)
+	for c, s := range seeds {
+		assign[s] = c
+		sizes[c]++
+	}
+	// conn[v][c] = traffic between v and cluster c.
+	conn := make([][]float64, n)
+	for v := range conn {
+		conn[v] = make([]float64, k)
+		for c, s := range seeds {
+			conn[v][c] = g.W[v][s]
+		}
+	}
+	remaining := n - k
+	for remaining > 0 {
+		// Pick the least-filled cluster that can still grow.
+		c := -1
+		for cc := 0; cc < k; cc++ {
+			if sizes[cc] >= maxSize {
+				continue
+			}
+			if c == -1 || sizes[cc] < sizes[c] {
+				c = cc
+			}
+		}
+		if c == -1 {
+			// All clusters full: dump remainder round-robin.
+			for v := 0; v < n; v++ {
+				if assign[v] == -1 {
+					assign[v] = v % k
+					remaining--
+				}
+			}
+			break
+		}
+		bestV, bestGain := -1, -1.0
+		for v := 0; v < n; v++ {
+			if assign[v] != -1 {
+				continue
+			}
+			if bestV == -1 || conn[v][c] > bestGain {
+				bestV, bestGain = v, conn[v][c]
+			}
+		}
+		assign[bestV] = c
+		sizes[c]++
+		remaining--
+		for v := 0; v < n; v++ {
+			if assign[v] == -1 {
+				conn[v][c] += g.W[v][bestV]
+			}
+		}
+	}
+	return assign
+}
+
+// klPass performs one Kernighan–Lin style refinement sweep: move any vertex
+// whose connectivity to another cluster exceeds its connectivity to its own
+// (strictly, and respecting the size bound). Returns whether any move was
+// made.
+func klPass(g *Graph, assign []int, maxSize int) bool {
+	n := g.N
+	k := 0
+	for _, c := range assign {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	conn := make([]float64, k)
+	moved := false
+	for v := 0; v < n; v++ {
+		for c := range conn {
+			conn[c] = 0
+		}
+		for u := 0; u < n; u++ {
+			if w := g.W[v][u]; w > 0 {
+				conn[assign[u]] += w
+			}
+		}
+		cur := assign[v]
+		if sizes[cur] <= 1 {
+			continue // never empty a cluster
+		}
+		bestC, bestGain := cur, 0.0
+		for c := 0; c < k; c++ {
+			if c == cur || sizes[c] >= maxSize {
+				continue
+			}
+			gain := conn[c] - conn[cur]
+			if gain > bestGain {
+				bestC, bestGain = c, gain
+			}
+		}
+		if bestC != cur {
+			sizes[cur]--
+			sizes[bestC]++
+			assign[v] = bestC
+			moved = true
+		}
+	}
+	return moved
+}
+
+// swapPass exchanges vertex pairs between clusters when the combined gain
+// is positive; sizes are preserved so the move is always balance-feasible.
+// Returns whether any swap was made.
+func swapPass(g *Graph, assign []int) bool {
+	n := g.N
+	k := 0
+	for _, c := range assign {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	// conn[v][c]: traffic between v and cluster c.
+	conn := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		conn[v] = make([]float64, k)
+		for u := 0; u < n; u++ {
+			if w := g.W[v][u]; w > 0 {
+				conn[v][assign[u]] += w
+			}
+		}
+	}
+	swapped := false
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			a, b := assign[u], assign[v]
+			if a == b {
+				continue
+			}
+			gain := (conn[u][b] - conn[u][a]) + (conn[v][a] - conn[v][b]) - 2*g.W[u][v]
+			if gain <= 1e-12 {
+				continue
+			}
+			assign[u], assign[v] = b, a
+			swapped = true
+			for x := 0; x < n; x++ {
+				if w := g.W[x][u]; w > 0 {
+					conn[x][a] -= w
+					conn[x][b] += w
+				}
+				if w := g.W[x][v]; w > 0 {
+					conn[x][b] -= w
+					conn[x][a] += w
+				}
+			}
+		}
+	}
+	return swapped
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"fmt"
+
+	"hydee/internal/apps"
+	"hydee/internal/failure"
+	"hydee/internal/graph"
+	"hydee/internal/netmodel"
+	"hydee/internal/netpipe"
+	"hydee/internal/vtime"
+)
+
+// ---------------------------------------------------------------------------
+// T1 — Table I: application clustering.
+
+// Table1Row reproduces one row of Table I.
+type Table1Row struct {
+	App string
+	// K is the number of clusters the tool chose.
+	K int
+	// RollbackPct is the average percentage of processes that roll back
+	// after a single uniformly-placed failure.
+	RollbackPct float64
+	// LoggedGB / TotalGB are whole-run volumes extrapolated to the
+	// class-D iteration count.
+	LoggedGB, TotalGB float64
+	// LoggedPct is the logged fraction.
+	LoggedPct float64
+	// Assign is the clustering, reused by the other experiments.
+	Assign []int
+}
+
+// Table1 traces each kernel's communication graph at np ranks and runs the
+// clustering tool on it.
+func Table1(np, traceIters int, opt graph.Options) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, k := range apps.Registry() {
+		g, _, err := TraceGraph(k, apps.Params{NP: np, Iters: traceIters})
+		if err != nil {
+			return nil, fmt.Errorf("table1: %s: %w", k.Name, err)
+		}
+		res := graph.Cluster(g, opt)
+		scale := float64(k.ClassIters) / float64(traceIters)
+		rows = append(rows, Table1Row{
+			App:         k.Name,
+			K:           res.K,
+			RollbackPct: res.ExpRollback * 100,
+			LoggedGB:    res.CutBytes * scale / 1e9,
+			TotalGB:     res.TotalBytes * scale / 1e9,
+			LoggedPct:   res.CutFrac * 100,
+			Assign:      res.Assign,
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// F5 — Figure 5: NetPIPE latency/bandwidth degradation.
+
+// Fig5Row is one message size of Figure 5's two charts.
+type Fig5Row struct {
+	Bytes int
+	// Native one-way latency (µs) and bandwidth (MB/s).
+	NativeLatUs, NativeBW float64
+	// Latency degradation in percent, reported negative like the paper's
+	// "performance reduction" axis: -100*(L_hydee-L_native)/L_hydee.
+	LatRedNoLogPct, LatRedLogPct float64
+	// Bandwidth reduction in percent (negative when HydEE is slower).
+	BWRedNoLogPct, BWRedLogPct float64
+}
+
+// Figure5 sweeps the ping-pong benchmark in the paper's three
+// configurations over the Myrinet 10G model.
+func Figure5(model netmodel.Model, sizes []int, reps int) ([]Fig5Row, error) {
+	if model == nil {
+		model = netmodel.Myrinet10G()
+	}
+	native, err := netpipe.Run(netpipe.Config{Model: model, Sizes: sizes, Reps: reps})
+	if err != nil {
+		return nil, err
+	}
+	noLog, err := netpipe.Run(netpipe.Config{
+		Model: model, Sizes: sizes, Reps: reps,
+		Protocol: hydeeProtocol(), SameCluster: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	withLog, err := netpipe.Run(netpipe.Config{
+		Model: model, Sizes: sizes, Reps: reps,
+		Protocol: hydeeProtocol(), SameCluster: false,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(noLog) != len(native) || len(withLog) != len(native) {
+		return nil, fmt.Errorf("figure5: sweep lengths differ")
+	}
+	rows := make([]Fig5Row, len(native))
+	for i := range native {
+		n, a, b := native[i], noLog[i], withLog[i]
+		rows[i] = Fig5Row{
+			Bytes:          n.Bytes,
+			NativeLatUs:    n.LatencyUs,
+			NativeBW:       n.BandwidthMBps,
+			LatRedNoLogPct: -100 * (a.LatencyUs - n.LatencyUs) / a.LatencyUs,
+			LatRedLogPct:   -100 * (b.LatencyUs - n.LatencyUs) / b.LatencyUs,
+			BWRedNoLogPct:  -100 * (n.BandwidthMBps - a.BandwidthMBps) / n.BandwidthMBps,
+			BWRedLogPct:    -100 * (n.BandwidthMBps - b.BandwidthMBps) / n.BandwidthMBps,
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// F6 — Figure 6: NAS failure-free overhead.
+
+// Fig6Row is one benchmark bar group of Figure 6.
+type Fig6Row struct {
+	App string
+	// Normalized execution times (native = 1.0).
+	MLogNorm, HydEENorm float64
+	// Overheads in percent.
+	MLogPct, HydEEPct float64
+	// HydEELoggedPct is the fraction of bytes HydEE logged.
+	HydEELoggedPct float64
+	NativeTime     vtime.Time
+}
+
+// Figure6 runs each kernel under native, full message logging, and HydEE
+// with the given clusterings, failure-free, and reports normalized times.
+func Figure6(np, iters int, clusterings map[string][]int) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, k := range apps.Registry() {
+		assign, ok := clusterings[k.Name]
+		if !ok {
+			return nil, fmt.Errorf("figure6: no clustering for %s", k.Name)
+		}
+		params := apps.Params{NP: np, Iters: iters}
+		nat, err := Run(Spec{Kernel: k, Params: params, Proto: ProtoNative})
+		if err != nil {
+			return nil, err
+		}
+		mlog, err := Run(Spec{Kernel: k, Params: params, Proto: ProtoMLog})
+		if err != nil {
+			return nil, err
+		}
+		hyd, err := Run(Spec{Kernel: k, Params: params, Proto: ProtoHydEE, Assign: assign})
+		if err != nil {
+			return nil, err
+		}
+		if err := SameDigests(nat, hyd); err != nil {
+			return nil, fmt.Errorf("figure6: %s: hydee diverged from native: %w", k.Name, err)
+		}
+		base := float64(nat.Makespan)
+		rows = append(rows, Fig6Row{
+			App:            k.Name,
+			MLogNorm:       float64(mlog.Makespan) / base,
+			HydEENorm:      float64(hyd.Makespan) / base,
+			MLogPct:        (float64(mlog.Makespan)/base - 1) * 100,
+			HydEEPct:       (float64(hyd.Makespan)/base - 1) * 100,
+			HydEELoggedPct: hyd.LoggedFrac * 100,
+			NativeTime:     nat.Makespan,
+		})
+	}
+	return rows, nil
+}
+
+// Clusterings runs the clustering tool for every kernel and returns the
+// assignments keyed by kernel name (shared by Figure6 and E4).
+func Clusterings(np, traceIters int, opt graph.Options) (map[string][]int, []Table1Row, error) {
+	rows, err := Table1(np, traceIters, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := make(map[string][]int, len(rows))
+	for _, r := range rows {
+		m[r.App] = r.Assign
+	}
+	return m, rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// E4 — failure containment.
+
+// E4Row compares the protocols' failure behaviour on one kernel.
+type E4Row struct {
+	App   string
+	Proto string
+	// RolledBackPct is the share of processes forced to roll back.
+	RolledBackPct float64
+	// RecoveryVT is the recovery-coordination time of the round.
+	RecoveryVT vtime.Duration
+	// MakespanVT is the total run time with the failure.
+	MakespanVT vtime.Time
+	// OverheadPct is the makespan increase over the same protocol's
+	// failure-free run.
+	OverheadPct float64
+	// LoggedFrac is the protocol's logged-byte fraction.
+	LoggedFrac float64
+}
+
+// Containment injects one failure into the kernel under each
+// fault-tolerant protocol and measures how far it spreads. Results are
+// also validated against the failure-free digests.
+func Containment(k apps.Kernel, np, iters, ckptEvery int, assign []int, failAfterCkpts int) ([]E4Row, error) {
+	var rows []E4Row
+	sched := func() *failure.Schedule {
+		return failure.NewSchedule(failure.Event{
+			Ranks: []int{np / 2},
+			When:  failure.Trigger{AfterCheckpoints: failAfterCkpts},
+		})
+	}
+	for _, proto := range []Proto{ProtoCoord, ProtoMLog, ProtoHydEE} {
+		params := apps.Params{NP: np, Iters: iters}
+		base := Spec{Kernel: k, Params: params, Proto: proto, Assign: assign, CheckpointEvery: ckptEvery}
+		clean, err := Run(base)
+		if err != nil {
+			return nil, fmt.Errorf("e4: %s/%s clean: %w", k.Name, proto, err)
+		}
+		withFail := base
+		withFail.Failures = sched()
+		failed, err := Run(withFail)
+		if err != nil {
+			return nil, fmt.Errorf("e4: %s/%s failed: %w", k.Name, proto, err)
+		}
+		if err := SameDigests(clean, failed); err != nil {
+			return nil, fmt.Errorf("e4: %s/%s: recovered run diverged: %w", k.Name, proto, err)
+		}
+		if len(failed.Rounds) != 1 {
+			return nil, fmt.Errorf("e4: %s/%s: expected 1 recovery round, got %d", k.Name, proto, len(failed.Rounds))
+		}
+		rd := failed.Rounds[0]
+		rows = append(rows, E4Row{
+			App:           k.Name,
+			Proto:         proto.String(),
+			RolledBackPct: 100 * float64(rd.RolledBack) / float64(np),
+			RecoveryVT:    rd.EndVT.Sub(rd.StartVT),
+			MakespanVT:    failed.Makespan,
+			OverheadPct:   (float64(failed.Makespan)/float64(clean.Makespan) - 1) * 100,
+			LoggedFrac:    failed.LoggedFrac,
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// E5 — checkpoint I/O bursts.
+
+// E5Row compares simultaneous vs staggered checkpointing under a shared
+// stable-storage bandwidth.
+type E5Row struct {
+	Config string
+	// MaxQueue is the worst virtual-time backlog a checkpoint write saw.
+	MaxQueue vtime.Duration
+	// Makespan is the run time.
+	Makespan vtime.Time
+	// CkptBytes is the volume written.
+	CkptBytes int64
+}
+
+// CheckpointBurst runs the kernel with all clusters checkpointing at once
+// (coordinated baseline) and with HydEE's per-cluster staggered schedule,
+// under a shared store of storeBPS bytes/second.
+func CheckpointBurst(k apps.Kernel, np, iters, ckptEvery int, assign []int, storeBPS float64) ([]E5Row, error) {
+	var rows []E5Row
+	cases := []struct {
+		name    string
+		proto   Proto
+		stagger bool
+	}{
+		{"coord-simultaneous", ProtoCoord, false},
+		{"hydee-simultaneous", ProtoHydEE, false},
+		{"hydee-staggered", ProtoHydEE, true},
+	}
+	for _, cs := range cases {
+		sum, err := Run(Spec{
+			Kernel: k, Params: apps.Params{NP: np, Iters: iters},
+			Proto: cs.proto, Assign: assign,
+			CheckpointEvery: ckptEvery, Stagger: cs.stagger,
+			StoreWriteBPS: storeBPS, StoreReadBPS: storeBPS,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("e5: %s: %w", cs.name, err)
+		}
+		rows = append(rows, E5Row{
+			Config:    cs.name,
+			MaxQueue:  sum.Store.MaxQueue,
+			Makespan:  sum.Makespan,
+			CkptBytes: sum.Totals.CkptBytes,
+		})
+	}
+	return rows, nil
+}

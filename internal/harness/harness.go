@@ -1,0 +1,201 @@
+// Package harness orchestrates the experiments: it wires a kernel, a
+// rollback protocol, a clustering, a network model, a checkpoint schedule
+// and a failure schedule into an mpi run, and aggregates the metrics the
+// paper's tables and figures report.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"hydee/internal/apps"
+	"hydee/internal/checkpoint"
+	"hydee/internal/core"
+	"hydee/internal/failure"
+	"hydee/internal/graph"
+	"hydee/internal/mpi"
+	"hydee/internal/netmodel"
+	"hydee/internal/rollback"
+	"hydee/internal/rollback/coord"
+	"hydee/internal/trace"
+	"hydee/internal/vtime"
+)
+
+// Proto selects the rollback-recovery configuration.
+type Proto int
+
+// The protocol configurations the experiments compare.
+const (
+	// ProtoNative is plain MPICH2: no fault tolerance.
+	ProtoNative Proto = iota
+	// ProtoCoord is globally coordinated checkpointing with global restart.
+	ProtoCoord
+	// ProtoMLog is full sender-based message logging: HydEE with singleton
+	// clusters plus modeled determinant piggybacking — the "Message
+	// Logging" comparator of Figure 6.
+	ProtoMLog
+	// ProtoHydEE is the paper's protocol with a cluster assignment.
+	ProtoHydEE
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoNative:
+		return "native"
+	case ProtoCoord:
+		return "coord"
+	case ProtoMLog:
+		return "mlog"
+	case ProtoHydEE:
+		return "hydee"
+	default:
+		return fmt.Sprintf("proto(%d)", int(p))
+	}
+}
+
+// Spec describes one run.
+type Spec struct {
+	Kernel apps.Kernel
+	Params apps.Params
+	Proto  Proto
+	// Assign is the cluster assignment (ProtoHydEE only).
+	Assign []int
+	// Model is the network model; nil uses Myrinet10G.
+	Model netmodel.Model
+	// CheckpointEvery / Stagger configure the checkpoint schedule.
+	CheckpointEvery int
+	Stagger         bool
+	// Failures is the fail-stop schedule.
+	Failures *failure.Schedule
+	// StoreWriteBPS / StoreReadBPS model stable storage bandwidth
+	// (0 = free storage).
+	StoreWriteBPS, StoreReadBPS float64
+	// Recorder optionally records application-level events.
+	Recorder *trace.Recorder
+	// Watchdog overrides the deadlock guard.
+	Watchdog time.Duration
+}
+
+// Summary is the aggregated outcome of one run.
+type Summary struct {
+	App      string
+	Proto    string
+	NP       int
+	Makespan vtime.Time
+	Totals   rollback.Metrics
+	// LoggedFrac is logged payload bytes / total payload bytes.
+	LoggedFrac float64
+	// PiggyFrac is inline piggyback bytes / total payload bytes.
+	PiggyFrac float64
+	Rounds    []rollback.RecoveryStats
+	Store     checkpoint.StoreStats
+	Digests   []any
+	PairBytes []int64
+}
+
+// topoAndProtocol resolves the Spec into runtime configuration.
+func (s *Spec) topoAndProtocol() (*rollback.Topology, rollback.Protocol, error) {
+	np := s.Params.NP
+	switch s.Proto {
+	case ProtoNative:
+		return rollback.SingleCluster(np), rollback.Native(), nil
+	case ProtoCoord:
+		return rollback.SingleCluster(np), coord.New(), nil
+	case ProtoMLog:
+		return rollback.Singletons(np), core.NewWithOptions(core.Options{
+			Name:            "mlog",
+			ExtraPiggyBytes: 8, // determinant id piggybacked per message
+		}), nil
+	case ProtoHydEE:
+		if len(s.Assign) != np {
+			return nil, nil, fmt.Errorf("harness: hydee needs a cluster assignment covering %d ranks (got %d)", np, len(s.Assign))
+		}
+		return rollback.NewTopology(s.Assign), core.New(), nil
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown proto %d", int(s.Proto))
+	}
+}
+
+// Run executes the spec.
+func Run(s Spec) (*Summary, error) {
+	if s.Params.NP <= 0 {
+		return nil, fmt.Errorf("harness: NP must be positive")
+	}
+	if s.Model == nil {
+		s.Model = netmodel.Myrinet10G()
+	}
+	topo, prot, err := s.topoAndProtocol()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := s.Kernel.Make(s.Params)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mpi.Run(mpi.Config{
+		NP:                s.Params.NP,
+		Model:             s.Model,
+		Topo:              topo,
+		Protocol:          prot,
+		Store:             checkpoint.NewMemStore(s.StoreWriteBPS, s.StoreReadBPS),
+		CheckpointEvery:   s.CheckpointEvery,
+		CheckpointStagger: s.Stagger,
+		Failures:          s.Failures,
+		Recorder:          s.Recorder,
+		Watchdog:          s.Watchdog,
+	}, prog)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", s.Kernel.Name, s.Proto, err)
+	}
+	sum := &Summary{
+		App:       s.Kernel.Name,
+		Proto:     s.Proto.String(),
+		NP:        s.Params.NP,
+		Makespan:  res.Makespan,
+		Totals:    res.Totals,
+		Rounds:    res.Rounds,
+		Store:     res.StoreStats,
+		Digests:   res.Results,
+		PairBytes: res.PairBytes,
+	}
+	if res.Totals.AppBytes > 0 {
+		sum.LoggedFrac = float64(res.Totals.LoggedBytes) / float64(res.Totals.AppBytes)
+		sum.PiggyFrac = float64(res.Totals.PiggyBytes) / float64(res.Totals.AppBytes)
+	}
+	return sum, nil
+}
+
+// SameDigests verifies two runs produced identical per-rank results — the
+// recovery-correctness check (send-determinism guarantees the recovered
+// execution equals a failure-free one).
+func SameDigests(a, b *Summary) error {
+	if len(a.Digests) != len(b.Digests) {
+		return fmt.Errorf("harness: digest count %d vs %d", len(a.Digests), len(b.Digests))
+	}
+	for r := range a.Digests {
+		if a.Digests[r] != b.Digests[r] {
+			return fmt.Errorf("harness: rank %d digest differs: %v vs %v", r, a.Digests[r], b.Digests[r])
+		}
+	}
+	return nil
+}
+
+// TraceGraph runs the kernel failure-free under the native protocol and
+// returns its communication graph (what the off-line tool of [28] takes as
+// input).
+func TraceGraph(k apps.Kernel, p apps.Params) (*graph.Graph, *Summary, error) {
+	sum, err := Run(Spec{Kernel: k, Params: p, Proto: ProtoNative})
+	if err != nil {
+		return nil, nil, err
+	}
+	return graph.FromPairBytes(p.NP, sum.PairBytes), sum, nil
+}
+
+// ClusterApp traces the kernel and partitions its communication graph.
+func ClusterApp(k apps.Kernel, p apps.Params, opt graph.Options) (graph.Result, error) {
+	g, _, err := TraceGraph(k, p)
+	if err != nil {
+		return graph.Result{}, err
+	}
+	return graph.Cluster(g, opt), nil
+}

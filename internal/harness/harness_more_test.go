@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"hydee/internal/apps"
+	"hydee/internal/graph"
+	"hydee/internal/vtime"
+)
+
+func TestSpecValidation(t *testing.T) {
+	k, _ := apps.Get("cg")
+	if _, err := Run(Spec{Kernel: k, Params: apps.Params{NP: 0}}); err == nil {
+		t.Fatal("accepted NP=0")
+	}
+	// HydEE without an assignment must fail loudly.
+	if _, err := Run(Spec{Kernel: k, Params: apps.Params{NP: 4, Iters: 1}, Proto: ProtoHydEE}); err == nil {
+		t.Fatal("accepted hydee without clustering")
+	}
+	if _, err := Run(Spec{Kernel: k, Params: apps.Params{NP: 4, Iters: 1}, Proto: Proto(99)}); err == nil {
+		t.Fatal("accepted unknown protocol")
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	cases := map[Proto]string{
+		ProtoNative: "native", ProtoCoord: "coord", ProtoMLog: "mlog", ProtoHydEE: "hydee",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d: %q", int(p), p.String())
+		}
+	}
+}
+
+func TestSameDigestsDetectsDivergence(t *testing.T) {
+	a := &Summary{Digests: []any{uint64(1), uint64(2)}}
+	b := &Summary{Digests: []any{uint64(1), uint64(3)}}
+	if err := SameDigests(a, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := SameDigests(a, b); err == nil {
+		t.Fatal("missed divergence")
+	}
+	if err := SameDigests(a, &Summary{}); err == nil {
+		t.Fatal("missed count mismatch")
+	}
+}
+
+func TestTraceGraphSymmetryAndVolume(t *testing.T) {
+	k, _ := apps.Get("mg")
+	g, sum, err := TraceGraph(k, apps.Params{NP: 8, Iters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 8 || g.Total <= 0 {
+		t.Fatalf("graph: N=%d total=%v", g.N, g.Total)
+	}
+	// Graph total must equal the run's application bytes (symmetrized).
+	if int64(g.Total) != sum.Totals.AppBytes {
+		t.Fatalf("graph total %v != app bytes %d", g.Total, sum.Totals.AppBytes)
+	}
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			if g.W[i][j] != g.W[j][i] {
+				t.Fatal("graph not symmetric")
+			}
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	t1 := FormatTable1([]Table1Row{{App: "cg", K: 16, RollbackPct: 6.25, LoggedGB: 440, TotalGB: 2318, LoggedPct: 18.98}})
+	if !strings.Contains(t1, "CG") || !strings.Contains(t1, "18.98") {
+		t.Fatalf("table1 format: %q", t1)
+	}
+	f5 := FormatFigure5([]Fig5Row{{Bytes: 32, NativeLatUs: 3.3, LatRedNoLogPct: -15.8}})
+	if !strings.Contains(f5, "-15.80") {
+		t.Fatalf("fig5 format: %q", f5)
+	}
+	f6 := FormatFigure6([]Fig6Row{{App: "ft", MLogNorm: 1.0027, HydEENorm: 1.0015, MLogPct: 0.27, HydEEPct: 0.15}})
+	if !strings.Contains(f6, "FT") || !strings.Contains(f6, "1.0027") {
+		t.Fatalf("fig6 format: %q", f6)
+	}
+	e4 := FormatE4([]E4Row{{App: "cg", Proto: "hydee", RolledBackPct: 25, RecoveryVT: vtime.Duration(21e6), MakespanVT: vtime.Time(1e9)}})
+	if !strings.Contains(e4, "hydee") || !strings.Contains(e4, "25.00%") {
+		t.Fatalf("e4 format: %q", e4)
+	}
+	e5 := FormatE5([]E5Row{{Config: "hydee-staggered", MaxQueue: vtime.Duration(68e6), Makespan: vtime.Time(6e8), CkptBytes: 42}})
+	if !strings.Contains(e5, "hydee-staggered") {
+		t.Fatalf("e5 format: %q", e5)
+	}
+}
+
+func TestClusteringsCoverAllKernels(t *testing.T) {
+	m, rows, err := Clusterings(16, 1, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 6 || len(rows) != 6 {
+		t.Fatalf("clusterings: %d assignments, %d rows", len(m), len(rows))
+	}
+	for name, assign := range m {
+		if len(assign) != 16 {
+			t.Errorf("%s: assignment covers %d ranks", name, len(assign))
+		}
+	}
+}
+
+func TestMLogLogsEverything(t *testing.T) {
+	k, _ := apps.Get("mg")
+	sum, err := Run(Spec{Kernel: k, Params: apps.Params{NP: 8, Iters: 2}, Proto: ProtoMLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.LoggedFrac < 0.999 {
+		t.Fatalf("mlog logged %.3f of bytes, want all", sum.LoggedFrac)
+	}
+	if sum.Totals.PiggyBytes == 0 {
+		t.Fatal("mlog piggybacked nothing (determinants missing)")
+	}
+}
+
+func TestCoordLogsNothing(t *testing.T) {
+	k, _ := apps.Get("mg")
+	sum, err := Run(Spec{Kernel: k, Params: apps.Params{NP: 8, Iters: 2}, Proto: ProtoCoord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.LoggedFrac != 0 || sum.PiggyFrac != 0 {
+		t.Fatalf("coord logged %.3f piggy %.3f, want zero", sum.LoggedFrac, sum.PiggyFrac)
+	}
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"testing"
+
+	"hydee/internal/apps"
+	"hydee/internal/graph"
+)
+
+// TestTable1Quick runs the clustering pipeline at a reduced scale to keep
+// the unit suite fast; the full 256-rank reproduction lives in the root
+// experiment tests.
+func TestTable1Quick(t *testing.T) {
+	rows, err := Table1(64, 2, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-4s k=%-3d rollback=%6.2f%% logged=%6.2f%% (%.0f/%.0f GB)",
+			r.App, r.K, r.RollbackPct, r.LoggedPct, r.LoggedGB, r.TotalGB)
+		if r.K < 2 {
+			t.Errorf("%s: clustering degenerated to %d cluster(s)", r.App, r.K)
+		}
+		if r.LoggedPct <= 0 || r.LoggedPct > 100 {
+			t.Errorf("%s: logged pct out of range: %f", r.App, r.LoggedPct)
+		}
+	}
+}
+
+func TestFigure6Quick(t *testing.T) {
+	clusterings, _, err := Clusterings(16, 2, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Figure6(16, 3, clusterings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-4s mlog=%.4f hydee=%.4f (logged %.1f%%)", r.App, r.MLogNorm, r.HydEENorm, r.HydEELoggedPct)
+		if r.HydEENorm < 0.999 {
+			t.Errorf("%s: hydee faster than native (%.4f) — model inconsistency", r.App, r.HydEENorm)
+		}
+		if r.MLogNorm+1e-9 < r.HydEENorm {
+			t.Errorf("%s: full logging (%.4f) beat hydee (%.4f)", r.App, r.MLogNorm, r.HydEENorm)
+		}
+	}
+}
+
+func TestContainmentQuick(t *testing.T) {
+	k, err := apps.Get("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ClusterApp(k, apps.Params{NP: 16, Iters: 2}, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Containment(k, 16, 8, 3, res.Assign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coordPct, hydeePct float64
+	for _, r := range rows {
+		t.Logf("%-6s rolled=%6.2f%% recovery=%s overhead=%.2f%%", r.Proto, r.RolledBackPct, r.RecoveryVT, r.OverheadPct)
+		switch r.Proto {
+		case "coord":
+			coordPct = r.RolledBackPct
+		case "hydee":
+			hydeePct = r.RolledBackPct
+		}
+	}
+	if coordPct != 100 {
+		t.Errorf("coordinated baseline should roll back 100%%, got %.1f%%", coordPct)
+	}
+	if hydeePct >= coordPct {
+		t.Errorf("hydee (%.1f%%) did not contain the failure better than coord (%.1f%%)", hydeePct, coordPct)
+	}
+}

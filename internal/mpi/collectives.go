@@ -1,0 +1,317 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Collectives are built over point-to-point messages so the protocol layer
+// sees every constituent message as a first-class application-level event:
+// inter-cluster legs of a collective are logged and piggybacked exactly
+// like plain sends, which is what makes FT's all-to-all traffic expensive
+// to log (Table I).
+//
+// Every algorithm below uses source- and tag-directed receives with a
+// deterministic combine order, so collectives are send-deterministic and
+// replay identically during recovery.
+
+// Reserved tag space for collectives: application tags must stay below
+// collTagBase.
+const (
+	collTagBase = 1 << 26
+	collOpShift = 20
+	collSeqMask = 1<<collOpShift - 1
+)
+
+type collOp int
+
+const (
+	opBarrier collOp = iota + 1
+	opBcast
+	opReduce
+	opAllgather
+	opAlltoall
+	opGatherScatter
+)
+
+// collTag derives the tag for one step of one collective instance. seq
+// disambiguates successive collectives; stage disambiguates steps within
+// algorithms that reuse (src, dst) pairs.
+func collTag(op collOp, seq int64, stage int) int {
+	return collTagBase + int(op)<<collOpShift + int((seq*64+int64(stage))&collSeqMask)
+}
+
+// ReduceOp is a reduction operator over float64 vectors.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) apply(dst, src []float64) {
+	switch op {
+	case OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpMax:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpMin:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}
+}
+
+// Barrier blocks until all ranks reach it (dissemination algorithm).
+func (c *Comm) Barrier() error {
+	np := c.Size()
+	if np == 1 {
+		return nil
+	}
+	seq := c.nextCollSeq()
+	rank := c.Rank()
+	stage := 0
+	for k := 1; k < np; k <<= 1 {
+		dst := (rank + k) % np
+		src := (rank - k + np) % np
+		tag := collTag(opBarrier, seq, stage)
+		if err := c.p.send(dst, tag, nil, 1); err != nil {
+			return err
+		}
+		if _, _, err := c.Recv(src, tag); err != nil {
+			return err
+		}
+		stage++
+	}
+	return nil
+}
+
+// Bcast broadcasts root's data to all ranks over a binomial tree and
+// returns the data everywhere. wireBytes models the payload size (0 uses
+// len(data)).
+func (c *Comm) Bcast(root int, data []byte, wireBytes int) ([]byte, error) {
+	np := c.Size()
+	if root < 0 || root >= np {
+		return nil, fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	if np == 1 {
+		return data, nil
+	}
+	seq := c.nextCollSeq()
+	rank := c.Rank()
+	vrank := (rank - root + np) % np
+	tag := collTag(opBcast, seq, 0)
+
+	mask := 1
+	if vrank != 0 {
+		for ; mask < np; mask <<= 1 {
+			if vrank&mask != 0 {
+				src := ((vrank - mask) + root) % np
+				got, _, err := c.Recv(src, tag)
+				if err != nil {
+					return nil, err
+				}
+				data = got
+				break
+			}
+		}
+	} else {
+		for mask < np {
+			mask <<= 1
+		}
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vrank&mask == 0 && vrank+mask < np {
+			dst := (vrank + mask + root) % np
+			if err := c.p.send(dst, tag, data, wireBytes); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Reduce combines vals from all ranks at root over a binomial tree with a
+// deterministic combine order; the result is meaningful at root only.
+func (c *Comm) Reduce(root int, vals []float64, op ReduceOp, wireBytes int) ([]float64, error) {
+	np := c.Size()
+	if root < 0 || root >= np {
+		return nil, fmt.Errorf("mpi: reduce root %d out of range", root)
+	}
+	acc := append([]float64(nil), vals...)
+	if np == 1 {
+		return acc, nil
+	}
+	seq := c.nextCollSeq()
+	rank := c.Rank()
+	vrank := (rank - root + np) % np
+	tag := collTag(opReduce, seq, 0)
+
+	for mask := 1; mask < np; mask <<= 1 {
+		if vrank&mask == 0 {
+			peer := vrank | mask
+			if peer < np {
+				src := (peer + root) % np
+				got, _, err := c.Recv(src, tag)
+				if err != nil {
+					return nil, err
+				}
+				part, err := BytesToFloat64s(got)
+				if err != nil {
+					return nil, err
+				}
+				if len(part) != len(acc) {
+					return nil, fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(part), len(acc))
+				}
+				op.apply(acc, part)
+			}
+		} else {
+			dst := (vrank - mask + root) % np
+			if err := c.p.send(dst, tag, Float64sToBytes(acc), wireBytes); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce combines vals across all ranks and returns the result
+// everywhere (reduce to rank 0, then broadcast).
+func (c *Comm) Allreduce(vals []float64, op ReduceOp, wireBytes int) ([]float64, error) {
+	red, err := c.Reduce(0, vals, op, wireBytes)
+	if err != nil {
+		return nil, err
+	}
+	var payload []byte
+	if c.Rank() == 0 {
+		payload = Float64sToBytes(red)
+	}
+	out, err := c.Bcast(0, payload, wireBytes)
+	if err != nil {
+		return nil, err
+	}
+	return BytesToFloat64s(out)
+}
+
+// Allgather gathers each rank's block at every rank (ring algorithm).
+// wirePer models the per-block size.
+func (c *Comm) Allgather(mine []byte, wirePer int) ([][]byte, error) {
+	np := c.Size()
+	out := make([][]byte, np)
+	rank := c.Rank()
+	out[rank] = mine
+	if np == 1 {
+		return out, nil
+	}
+	seq := c.nextCollSeq()
+	next := (rank + 1) % np
+	prev := (rank - 1 + np) % np
+	for step := 1; step < np; step++ {
+		sendIdx := (rank - step + 1 + np) % np
+		recvIdx := (rank - step + np) % np
+		tag := collTag(opAllgather, seq, step)
+		if err := c.p.send(next, tag, out[sendIdx], wirePer); err != nil {
+			return nil, err
+		}
+		got, _, err := c.Recv(prev, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[recvIdx] = got
+	}
+	return out, nil
+}
+
+// Alltoall sends blocks[d] to rank d and returns the blocks received from
+// every rank (pairwise-shift exchange). wirePer models the per-block size.
+// This is FT's transpose workhorse.
+func (c *Comm) Alltoall(blocks [][]byte, wirePer int) ([][]byte, error) {
+	np := c.Size()
+	if len(blocks) != np {
+		return nil, fmt.Errorf("mpi: alltoall needs %d blocks, got %d", np, len(blocks))
+	}
+	rank := c.Rank()
+	out := make([][]byte, np)
+	out[rank] = blocks[rank]
+	if np == 1 {
+		return out, nil
+	}
+	seq := c.nextCollSeq()
+	for step := 1; step < np; step++ {
+		dst := (rank + step) % np
+		src := (rank - step + np) % np
+		tag := collTag(opAlltoall, seq, step)
+		if err := c.p.send(dst, tag, blocks[dst], wirePer); err != nil {
+			return nil, err
+		}
+		got, _, err := c.Recv(src, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = got
+	}
+	return out, nil
+}
+
+// Gather collects each rank's block at root (linear, deterministic order);
+// non-roots receive nil.
+func (c *Comm) Gather(root int, mine []byte, wirePer int) ([][]byte, error) {
+	np := c.Size()
+	seq := c.nextCollSeq()
+	tag := collTag(opGatherScatter, seq, 0)
+	if c.Rank() != root {
+		return nil, c.p.send(root, tag, mine, wirePer)
+	}
+	out := make([][]byte, np)
+	out[root] = mine
+	for r := 0; r < np; r++ {
+		if r == root {
+			continue
+		}
+		got, _, err := c.Recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// Scatter distributes root's blocks to all ranks (linear) and returns this
+// rank's block.
+func (c *Comm) Scatter(root int, blocks [][]byte, wirePer int) ([]byte, error) {
+	np := c.Size()
+	seq := c.nextCollSeq()
+	tag := collTag(opGatherScatter, seq, 1)
+	if c.Rank() == root {
+		if len(blocks) != np {
+			return nil, fmt.Errorf("mpi: scatter needs %d blocks, got %d", np, len(blocks))
+		}
+		for r := 0; r < np; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.p.send(r, tag, blocks[r], wirePer); err != nil {
+				return nil, err
+			}
+		}
+		return blocks[root], nil
+	}
+	got, _, err := c.Recv(root, tag)
+	return got, err
+}
+
+func (c *Comm) nextCollSeq() int64 {
+	c.p.collSeq++
+	return c.p.collSeq
+}

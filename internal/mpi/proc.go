@@ -1,0 +1,491 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"hydee/internal/checkpoint"
+	"hydee/internal/failure"
+	"hydee/internal/netmodel"
+	"hydee/internal/rollback"
+	"hydee/internal/trace"
+	"hydee/internal/transport"
+	"hydee/internal/vtime"
+)
+
+// shutdownBody is the runtime-internal control message that ends lingering
+// process loops once the whole run has completed.
+type shutdownBody struct{}
+
+// errShutdown reports a shutdown observed while a program was still
+// running; it indicates a runtime bug or a program that ignored errors.
+var errShutdown = errors.New("mpi: shutdown during program execution")
+
+// markerWire is the modeled size of a checkpoint flush marker.
+const markerWire = 8
+
+// Proc is one simulated process: the runtime side of a Comm. All fields are
+// owned by the process goroutine except where noted.
+type Proc struct {
+	rt    *Runtime
+	rank  int
+	ep    *transport.Endpoint
+	clock *vtime.Clock
+
+	engine  rollback.Engine
+	metrics rollback.Metrics
+
+	// pending holds application messages popped from the endpoint but not
+	// yet matched by a receive.
+	pending []*transport.Msg
+	// markers tracks flush markers received, per checkpoint sequence.
+	markers map[int]map[int]bool
+
+	epoch       int
+	ckptCallIdx int
+	ckptsDone   int
+	collSeq     int64
+
+	snapshot *checkpoint.Snapshot
+	round    *rollback.RoundInfo
+	inc      int32
+
+	stateTarget any
+	stateBytes  int64
+	result      any
+	resultSet   bool
+
+	comm *Comm
+}
+
+func (rt *Runtime) newProc(rank int, snap *checkpoint.Snapshot, round *rollback.RoundInfo, startVT vtime.Time) *Proc {
+	p := &Proc{
+		rt:      rt,
+		rank:    rank,
+		ep:      rt.net.Endpoint(rank),
+		clock:   vtime.NewClock(startVT),
+		markers: make(map[int]map[int]bool),
+		round:   round,
+		inc:     rt.net.IncOf(rank),
+	}
+	if snap != nil {
+		p.snapshot = snap
+		p.epoch = snap.Seq
+		p.ckptCallIdx = snap.CkptCallIdx
+		p.collSeq = snap.CollSeq
+		for _, m := range snap.Mailbox {
+			mm := *m
+			mm.Data = append([]byte(nil), m.Data...)
+			p.pending = append(p.pending, &mm)
+		}
+	}
+	p.engine = rt.prot.NewEngine(rank, p)
+	p.comm = &Comm{p: p}
+	return p
+}
+
+// run executes the program (and the linger phase) on a fresh goroutine.
+func (p *Proc) run() {
+	defer p.rt.wg.Done()
+	defer p.collect()
+
+	if p.round != nil {
+		snap := p.snapshot
+		if snap == nil {
+			// No checkpoint yet: the process rolls back to its initial
+			// state; the engine still runs the restart protocol.
+			snap = &checkpoint.Snapshot{Rank: p.rank}
+		}
+		p.engine.OnRestore(snap, p.round)
+		p.metrics.Restarts++
+	}
+
+	err := p.rt.program(p.comm)
+	switch {
+	case err == nil:
+		p.rt.event(procEvent{kind: evFinished, rank: p.rank, vt: p.clock.Now()})
+		lerr := p.linger()
+		if errors.Is(lerr, transport.ErrKilled) {
+			p.rt.event(procEvent{kind: evDied, rank: p.rank, vt: p.clock.Now()})
+		}
+	case errors.Is(err, transport.ErrKilled):
+		p.rt.event(procEvent{kind: evDied, rank: p.rank, vt: p.clock.Now()})
+	default:
+		p.rt.event(procEvent{kind: evFatal, rank: p.rank, vt: p.clock.Now(), err: err})
+	}
+}
+
+// collect publishes the incarnation's metrics and result to the runtime.
+func (p *Proc) collect() {
+	p.rt.mu.Lock()
+	defer p.rt.mu.Unlock()
+	p.rt.metrics[p.rank].Add(&p.metrics)
+	if p.clock.Now() > p.rt.finalVT[p.rank] {
+		p.rt.finalVT[p.rank] = p.clock.Now()
+	}
+	if p.resultSet {
+		p.rt.results[p.rank] = p.result
+	}
+}
+
+// linger keeps servicing protocol traffic after the program finished, so
+// the process can still answer rollback notifications, re-send logged
+// messages, and take part in recovery rounds of other clusters.
+func (p *Proc) linger() error {
+	for {
+		m, err := p.ep.Recv()
+		if err != nil {
+			return err
+		}
+		sd, err := p.handle(m)
+		if err != nil {
+			return err
+		}
+		if sd {
+			return nil
+		}
+	}
+}
+
+// handle dispatches one incoming message. It reports whether a shutdown was
+// observed.
+func (p *Proc) handle(m *transport.Msg) (bool, error) {
+	switch m.Kind {
+	case transport.Ctl:
+		if _, ok := m.CtlBody.(shutdownBody); ok {
+			return true, nil
+		}
+		p.clock.MergeAtLeast(m.ArriveVT)
+		p.engine.OnCtl(m)
+	case transport.Marker:
+		p.clock.MergeAtLeast(m.ArriveVT)
+		seq := m.Epoch
+		set := p.markers[seq]
+		if set == nil {
+			set = make(map[int]bool)
+			p.markers[seq] = set
+		}
+		set[m.Src] = true
+	case transport.App:
+		if p.engine.Admit(m) {
+			p.pending = append(p.pending, m)
+		}
+	}
+	return false, nil
+}
+
+// waitCtl blocks until pred holds, processing control traffic and buffering
+// application traffic meanwhile.
+func (p *Proc) waitCtl(pred func() bool) error {
+	for !pred() {
+		m, err := p.ep.Recv()
+		if err != nil {
+			return err
+		}
+		sd, err := p.handle(m)
+		if err != nil {
+			return err
+		}
+		if sd {
+			return errShutdown
+		}
+	}
+	return nil
+}
+
+// maybeFail consults the failure injector at this interaction point.
+func (p *Proc) maybeFail() error {
+	inj := p.rt.inj
+	if inj == nil {
+		return nil
+	}
+	ranks := inj.Due(p.rank, failure.Progress{
+		VT:          p.clock.Now(),
+		Sends:       atomic.LoadInt64(&p.rt.cumSends[p.rank]),
+		Checkpoints: p.ckptsDone,
+	})
+	if ranks == nil {
+		return nil
+	}
+	p.rt.event(procEvent{kind: evFail, rank: p.rank, vt: p.clock.Now(), ranks: ranks})
+	// The victim stops acting immediately; the supervisor kills the rest
+	// of the scope.
+	return transport.ErrKilled
+}
+
+// send implements the application-level Post event.
+func (p *Proc) send(dst, tag int, data []byte, wire int) error {
+	if err := p.maybeFail(); err != nil {
+		return err
+	}
+	if dst < 0 || dst >= p.rt.cfg.NP {
+		return fmt.Errorf("mpi: rank %d: send to invalid rank %d", p.rank, dst)
+	}
+	if dst == p.rank {
+		return fmt.Errorf("mpi: rank %d: self-send not supported", p.rank)
+	}
+	if wire <= 0 {
+		wire = len(data)
+	}
+	m := &transport.Msg{
+		Src:     p.rank,
+		Dst:     dst,
+		Kind:    transport.App,
+		Tag:     tag,
+		Data:    append([]byte(nil), data...),
+		WireLen: wire,
+	}
+	verdict, err := p.engine.PreSend(m)
+	if err != nil {
+		return err
+	}
+	p.metrics.AppSends++
+	p.metrics.AppBytes += int64(wire)
+	atomic.AddInt64(&p.rt.cumSends[p.rank], 1)
+	if rec := p.rt.rec; rec != nil {
+		rec.Record(trace.Event{
+			Op: trace.Send, Proc: p.rank, Peer: dst,
+			Date: m.Date, MsgDate: m.Date, Phase: m.Phase, MsgPhase: m.Phase,
+			Tag: tag, Bytes: wire, Digest: trace.PayloadDigest(m.Data),
+			Replay: p.round != nil, Inc: p.inc,
+		})
+	}
+	if verdict.Suppress {
+		p.metrics.Suppressed++
+		return nil
+	}
+	m.PiggyLen = verdict.PiggyWire
+	p.metrics.PiggyBytes += int64(verdict.PiggyWire)
+	p.clock.Advance(p.rt.model.SendOverhead(m.Wire()) + verdict.ExtraCPU)
+	m.SendVT = p.clock.Now()
+	m.Epoch = p.epoch
+	return p.rt.net.Send(m)
+}
+
+func matches(m *transport.Msg, src, tag int) bool {
+	if src != AnySource && m.Src != src {
+		return false
+	}
+	if tag != AnyTag && m.Tag != tag {
+		return false
+	}
+	return true
+}
+
+// recvMatch implements the application-level Delivery event.
+func (p *Proc) recvMatch(src, tag int) (*transport.Msg, error) {
+	if err := p.maybeFail(); err != nil {
+		return nil, err
+	}
+	for {
+		for i, m := range p.pending {
+			if matches(m, src, tag) {
+				p.pending = append(p.pending[:i], p.pending[i+1:]...)
+				p.deliver(m)
+				return m, nil
+			}
+		}
+		m, err := p.ep.Recv()
+		if err != nil {
+			return nil, err
+		}
+		sd, err := p.handle(m)
+		if err != nil {
+			return nil, err
+		}
+		if sd {
+			return nil, errShutdown
+		}
+	}
+}
+
+func (p *Proc) deliver(m *transport.Msg) {
+	p.clock.MergeAtLeast(m.ArriveVT)
+	p.clock.Advance(p.rt.model.RecvOverhead(m.Wire()))
+	p.engine.OnDeliver(m)
+	p.metrics.AppDelivers++
+	if rec := p.rt.rec; rec != nil {
+		ev := trace.Event{
+			Op: trace.Deliver, Proc: p.rank, Peer: m.Src,
+			MsgDate: m.Date, Phase: m.Phase, MsgPhase: m.Phase,
+			Tag: m.Tag, Bytes: m.WireLen, Digest: trace.PayloadDigest(m.Data),
+			Replay: p.round != nil, Inc: p.inc,
+		}
+		if pr, ok := p.engine.(rollback.PhaseReporter); ok {
+			ev.Phase = pr.CurrentPhase()
+			ev.Date = pr.CurrentDate()
+		}
+		rec.Record(ev)
+	}
+}
+
+// checkpointCall is the cooperative checkpoint point. The checkpoint fires
+// only when the schedule says so; all members of the engine's checkpoint
+// scope reach the same call index and flush their mutual channels with
+// in-band markers before capturing (blocking coordinated checkpointing).
+func (p *Proc) checkpointCall() error {
+	p.ckptCallIdx++
+	scope := p.engine.CheckpointScope()
+	if len(scope) == 0 || !p.rt.ckptScheduled(p.cluster(), p.ckptCallIdx) {
+		return nil
+	}
+	seq := p.epoch + 1
+	p.epoch = seq
+	for _, r := range scope {
+		if r == p.rank {
+			continue
+		}
+		p.clock.Advance(p.rt.model.SendOverhead(markerWire))
+		mm := &transport.Msg{
+			Src: p.rank, Dst: r, Kind: transport.Marker,
+			Epoch: seq, WireLen: markerWire, SendVT: p.clock.Now(),
+		}
+		if err := p.rt.net.Send(mm); err != nil {
+			return err
+		}
+	}
+	if err := p.waitCtl(func() bool { return p.haveMarkers(seq, scope) }); err != nil {
+		return err
+	}
+	delete(p.markers, seq)
+
+	snap, err := p.capture(seq, scope)
+	if err != nil {
+		return err
+	}
+	endVT, err := p.rt.store.Save(snap, p.clock.Now())
+	if err != nil {
+		return err
+	}
+	p.clock.MergeAtLeast(endVT)
+	p.metrics.Checkpoints++
+	p.metrics.CkptBytes += snap.CostBytes()
+	p.ckptsDone++
+	return p.maybeFail()
+}
+
+func (p *Proc) haveMarkers(seq int, scope []int) bool {
+	set := p.markers[seq]
+	for _, r := range scope {
+		if r == p.rank {
+			continue
+		}
+		if !set[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// capture builds the snapshot: process image, protocol state, and the
+// in-transit messages the checkpoint must hold (DESIGN.md note 3).
+func (p *Proc) capture(seq int, scope []int) (*checkpoint.Snapshot, error) {
+	snap := &checkpoint.Snapshot{
+		Rank:        p.rank,
+		Seq:         seq,
+		TakenVT:     p.clock.Now(),
+		CkptCallIdx: p.ckptCallIdx,
+		CollSeq:     p.collSeq,
+		ModelBytes:  p.stateBytes,
+	}
+	if p.stateTarget != nil {
+		b, err := checkpoint.EncodeState(p.stateTarget)
+		if err != nil {
+			return nil, err
+		}
+		snap.AppState = b
+	}
+	p.engine.OnCheckpoint(snap)
+	inScope := make(map[int]bool, len(scope))
+	for _, r := range scope {
+		inScope[r] = true
+	}
+	for _, m := range p.pending {
+		if inScope[m.Src] {
+			// Intra-scope traffic: include exactly the pre-snapshot
+			// epoch; later-epoch messages belong to the post-checkpoint
+			// execution and will be regenerated on rollback.
+			if m.Epoch < seq {
+				snap.Mailbox = append(snap.Mailbox, m)
+			}
+		} else {
+			// Inter-cluster traffic: the checkpoint holds it; the
+			// sender-side log watermark accounts for it.
+			snap.Mailbox = append(snap.Mailbox, m)
+		}
+	}
+	for _, m := range snap.Mailbox {
+		snap.ModelBytes += int64(m.WireLen) + 64
+	}
+	return snap, nil
+}
+
+func (p *Proc) cluster() int { return p.rt.topo.ClusterOf[p.rank] }
+
+// --- rollback.Proc interface ---
+
+// Rank implements rollback.Proc.
+func (p *Proc) Rank() int { return p.rank }
+
+// Topo implements rollback.Proc.
+func (p *Proc) Topo() *rollback.Topology { return p.rt.topo }
+
+// Clock implements rollback.Proc.
+func (p *Proc) Clock() *vtime.Clock { return p.clock }
+
+// Model implements rollback.Proc.
+func (p *Proc) Model() netmodel.Model { return p.rt.model }
+
+// Metrics implements rollback.Proc.
+func (p *Proc) Metrics() *rollback.Metrics { return &p.metrics }
+
+// SendCtl implements rollback.Proc.
+func (p *Proc) SendCtl(dst int, body any, wireBytes int) {
+	p.clock.Advance(p.rt.model.SendOverhead(wireBytes))
+	m := &transport.Msg{
+		Src: p.rank, Dst: dst, Kind: transport.Ctl,
+		CtlBody: body, WireLen: wireBytes,
+		SendVT: p.clock.Now(), Epoch: p.epoch,
+	}
+	p.metrics.CtlMsgs++
+	_ = p.rt.net.Send(m)
+}
+
+// SendAppRaw implements rollback.Proc: log replay of a fully formed
+// application message.
+func (p *Proc) SendAppRaw(m *transport.Msg) {
+	p.clock.Advance(p.rt.model.SendOverhead(m.Wire()))
+	m.SendVT = p.clock.Now()
+	m.Epoch = p.epoch
+	_ = p.rt.net.Send(m)
+}
+
+// WaitCtl implements rollback.Proc.
+func (p *Proc) WaitCtl(pred func() bool) error { return p.waitCtl(pred) }
+
+// RecoveryID implements rollback.Proc.
+func (p *Proc) RecoveryID() int { return p.rt.cfg.NP }
+
+// HeldFrom implements rollback.Proc: the maximum application-message date
+// held undelivered from src.
+func (p *Proc) HeldFrom(src int) int64 {
+	var max int64
+	for _, m := range p.pending {
+		if m.Src == src && m.Date > max {
+			max = m.Date
+		}
+	}
+	return max
+}
+
+// HeldEntries implements rollback.Proc.
+func (p *Proc) HeldEntries(src int) []rollback.HeldMsg {
+	var out []rollback.HeldMsg
+	for _, m := range p.pending {
+		if m.Src == src {
+			out = append(out, rollback.HeldMsg{Date: m.Date, Phase: m.Phase})
+		}
+	}
+	return out
+}

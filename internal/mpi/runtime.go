@@ -1,0 +1,393 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hydee/internal/checkpoint"
+	"hydee/internal/failure"
+	"hydee/internal/netmodel"
+	"hydee/internal/rollback"
+	"hydee/internal/trace"
+	"hydee/internal/transport"
+	"hydee/internal/vtime"
+)
+
+// Runtime executes one run: it owns the network, supervises the process
+// goroutines, kills and restarts clusters on failures, and serializes
+// recovery rounds.
+type Runtime struct {
+	cfg     Config
+	net     *transport.Network
+	model   netmodel.Model
+	topo    *rollback.Topology
+	prot    rollback.Protocol
+	store   checkpoint.Store
+	inj     *failure.Injector
+	rec     *trace.Recorder
+	program Program
+
+	evCh     chan procEvent
+	cumSends []int64 // atomic, cumulative app sends per rank across incarnations
+
+	mu       sync.Mutex
+	metrics  []rollback.Metrics
+	results  []any
+	finalVT  []vtime.Time
+	rounds   []rollback.RecoveryStats
+	wg       sync.WaitGroup
+	roundSeq int
+}
+
+type evKind int
+
+const (
+	evFinished evKind = iota
+	evDied
+	evFail
+	evFatal
+	evRecoveryDone
+)
+
+type procEvent struct {
+	kind  evKind
+	rank  int
+	vt    vtime.Time
+	ranks []int // evFail: victims
+	err   error
+	stats rollback.RecoveryStats
+}
+
+func (rt *Runtime) event(ev procEvent) { rt.evCh <- ev }
+
+// Run executes program under cfg and returns the aggregated result.
+func Run(cfg Config, program Program) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		cfg:      cfg,
+		model:    cfg.Model,
+		topo:     cfg.Topo,
+		prot:     cfg.Protocol,
+		store:    cfg.Store,
+		rec:      cfg.Recorder,
+		program:  program,
+		net:      transport.NewNetwork(cfg.NP, cfg.Model),
+		evCh:     make(chan procEvent, 4*cfg.NP+16),
+		cumSends: make([]int64, cfg.NP),
+		metrics:  make([]rollback.Metrics, cfg.NP),
+		results:  make([]any, cfg.NP),
+		finalVT:  make([]vtime.Time, cfg.NP),
+	}
+	if cfg.Failures != nil {
+		rt.inj = failure.NewInjector(cfg.Failures)
+	}
+	// Pre-create the recovery endpoint so early control traffic to it is
+	// buffered rather than lost.
+	rt.net.Endpoint(cfg.NP)
+
+	for r := 0; r < cfg.NP; r++ {
+		rt.startProc(r, nil, nil, 0)
+	}
+	err := rt.supervise()
+	rt.drainAndJoin()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		PerRank:    append([]rollback.Metrics(nil), rt.metrics...),
+		Results:    append([]any(nil), rt.results...),
+		Rounds:     append([]rollback.RecoveryStats(nil), rt.rounds...),
+		StoreStats: rt.store.Stats(),
+	}
+	stats := rt.net.Stats()
+	res.PairBytes = make([]int64, len(stats))
+	res.PairMsgs = make([]int64, len(stats))
+	for i, s := range stats {
+		res.PairBytes[i] = s.Bytes
+		res.PairMsgs[i] = s.Msgs
+	}
+	for r := 0; r < cfg.NP; r++ {
+		if rt.finalVT[r] > res.Makespan {
+			res.Makespan = rt.finalVT[r]
+		}
+		res.Totals.Add(&rt.metrics[r])
+	}
+	return res, nil
+}
+
+func (rt *Runtime) startProc(rank int, snap *checkpoint.Snapshot, round *rollback.RoundInfo, startVT vtime.Time) {
+	p := rt.newProc(rank, snap, round, startVT)
+	rt.wg.Add(1)
+	go p.run()
+}
+
+// roundState tracks an in-flight failure round.
+type roundState struct {
+	info         rollback.RoundInfo
+	waitingDeath map[int]bool
+	recovering   bool
+}
+
+func (rt *Runtime) supervise() error {
+	np := rt.cfg.NP
+	finished := make([]bool, np)
+	finCount := 0
+	var cur *roundState
+	var pendingFails []procEvent
+	deadEarly := make(map[int]bool)
+	roundsRun := 0
+
+	watchdogDur := rt.cfg.watchdog()
+	watchdog := time.NewTimer(watchdogDur)
+	defer watchdog.Stop()
+
+	logf := func(format string, args ...any) {
+		if rt.cfg.Log != nil {
+			fmt.Fprintf(rt.cfg.Log, "[runtime] "+format+"\n", args...)
+		}
+	}
+
+	for finCount < np || cur != nil || len(pendingFails) > 0 {
+		select {
+		case ev := <-rt.evCh:
+			if !watchdog.Stop() {
+				<-watchdog.C
+			}
+			watchdog.Reset(watchdogDur)
+			switch ev.kind {
+			case evFinished:
+				if !finished[ev.rank] {
+					finished[ev.rank] = true
+					finCount++
+				}
+				logf("rank %d finished at %v (%d/%d)", ev.rank, ev.vt, finCount, np)
+
+			case evFatal:
+				rt.abort()
+				return fmt.Errorf("mpi: rank %d failed: %w", ev.rank, ev.err)
+
+			case evFail:
+				logf("failure of ranks %v detected at %v", ev.ranks, ev.vt)
+				if !rt.prot.Tolerates() {
+					rt.abort()
+					return fmt.Errorf("mpi: protocol %q cannot tolerate the injected failure of ranks %v", rt.prot.Name(), ev.ranks)
+				}
+				pendingFails = append(pendingFails, ev)
+				if cur == nil {
+					cur = rt.beginKill(pendingFails[0], finished, &finCount, deadEarly)
+					pendingFails = pendingFails[1:]
+					roundsRun++
+					if roundsRun > rt.cfg.MaxRounds {
+						rt.abort()
+						return fmt.Errorf("mpi: more than MaxRounds=%d recovery rounds", rt.cfg.MaxRounds)
+					}
+				}
+
+			case evDied:
+				if cur != nil && cur.waitingDeath[ev.rank] {
+					delete(cur.waitingDeath, ev.rank)
+					logf("rank %d unwound (%d left)", ev.rank, len(cur.waitingDeath))
+					if len(cur.waitingDeath) == 0 && !cur.recovering {
+						rt.launchRound(cur)
+					}
+				} else {
+					deadEarly[ev.rank] = true
+				}
+
+			case evRecoveryDone:
+				if ev.err != nil {
+					rt.abort()
+					return fmt.Errorf("mpi: recovery round %d: %w", ev.stats.Round, ev.err)
+				}
+				logf("recovery round %d done at %v", ev.stats.Round, ev.stats.EndVT)
+				rt.mu.Lock()
+				rt.rounds = append(rt.rounds, ev.stats)
+				rt.mu.Unlock()
+				cur = nil
+				if len(pendingFails) > 0 {
+					cur = rt.beginKill(pendingFails[0], finished, &finCount, deadEarly)
+					pendingFails = pendingFails[1:]
+					roundsRun++
+					if roundsRun > rt.cfg.MaxRounds {
+						rt.abort()
+						return fmt.Errorf("mpi: more than MaxRounds=%d recovery rounds", rt.cfg.MaxRounds)
+					}
+				}
+			}
+
+		case <-watchdog.C:
+			rt.abort()
+			return fmt.Errorf("mpi: watchdog: no supervisor event for %v (deadlock or overlapping failures; %d/%d finished, round active: %v)",
+				watchdogDur, finCount, np, cur != nil)
+		}
+	}
+
+	// Shut lingering processes down.
+	for r := 0; r < np; r++ {
+		m := &transport.Msg{Src: -1, Dst: r, Kind: transport.Ctl, CtlBody: shutdownBody{}, WireLen: 1}
+		_ = rt.net.Send(m)
+	}
+	return nil
+}
+
+// beginKill starts a failure round: computes the restart scope, kills every
+// scope member, and waits (via evDied events) for their goroutines to
+// unwind before restarting them.
+func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadEarly map[int]bool) *roundState {
+	scope := rt.prot.RestartScope(rt.topo, ev.ranks)
+	info := rollback.RoundInfo{
+		Round:          rt.roundSeq,
+		FailedClusters: rt.topo.ClustersOf(scope),
+		RolledBack:     append([]int(nil), scope...),
+		DetectVT:       ev.vt,
+	}
+	rt.roundSeq++
+	rs := &roundState{info: info, waitingDeath: make(map[int]bool, len(scope))}
+	for _, r := range scope {
+		rs.waitingDeath[r] = true
+	}
+	for _, r := range scope {
+		inc := rt.net.Kill(r)
+		rs.info.Incs = append(rs.info.Incs, inc)
+		if finished[r] {
+			finished[r] = false
+			*finCount--
+		}
+		if deadEarly[r] {
+			delete(deadEarly, r)
+			delete(rs.waitingDeath, r)
+		}
+	}
+	rs.info.AllIncs = rt.net.Incs()
+	if len(rs.waitingDeath) == 0 {
+		rt.launchRound(rs)
+	}
+	return rs
+}
+
+// launchRound revives and restarts the rolled-back processes from their
+// checkpoints and spawns the recovery coordinator.
+//
+// A failure can land while part of a cluster has completed checkpoint N and
+// the rest is still writing it, so each cluster restores from the minimum
+// sequence completed by all of its members (0 = restart from the initial
+// state).
+func (rt *Runtime) launchRound(rs *roundState) {
+	rs.recovering = true
+	info := rs.info
+	for _, r := range info.RolledBack {
+		rt.net.Restart(r)
+	}
+	restoreSeq := make(map[int]int) // cluster -> min completed seq
+	for _, r := range info.RolledBack {
+		c := rt.topo.ClusterOf[r]
+		seq := rt.store.LatestSeq(r)
+		if cur, ok := restoreSeq[c]; !ok || seq < cur {
+			restoreSeq[c] = seq
+		}
+	}
+	for _, r := range info.RolledBack {
+		seq := restoreSeq[rt.topo.ClusterOf[r]]
+		var snap *checkpoint.Snapshot
+		endVT := info.DetectVT
+		if seq > 0 {
+			var ok bool
+			snap, endVT, ok = rt.store.Load(r, seq, info.DetectVT)
+			if !ok {
+				snap, endVT = nil, info.DetectVT
+			}
+		}
+		rt.startProc(r, snap, &info, endVT)
+	}
+	rx := &recCtx{rt: rt, ep: rt.net.Endpoint(rt.cfg.NP), now: info.DetectVT}
+	rec := rt.prot.NewRecovery(rx)
+	if rec == nil {
+		rt.event(procEvent{kind: evRecoveryDone, stats: rollback.RecoveryStats{
+			Round: info.Round, RolledBack: len(info.RolledBack),
+			StartVT: info.DetectVT, EndVT: info.DetectVT,
+		}})
+		return
+	}
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		stats, err := rec.Run(info)
+		rt.event(procEvent{kind: evRecoveryDone, stats: stats, err: err})
+	}()
+}
+
+// abort tears everything down after a fatal error.
+func (rt *Runtime) abort() {
+	for r := 0; r < rt.cfg.NP; r++ {
+		rt.net.Kill(r)
+	}
+	rt.net.KillService(rt.cfg.NP) // recovery endpoint
+}
+
+// drainAndJoin waits for every goroutine while consuming stray events.
+func (rt *Runtime) drainAndJoin() {
+	done := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-rt.evCh:
+		case <-done:
+			return
+		}
+	}
+}
+
+// ckptScheduled decides whether the idx-th cooperative checkpoint call of a
+// cluster fires.
+func (rt *Runtime) ckptScheduled(cluster, idx int) bool {
+	k := rt.cfg.CheckpointEvery
+	if k <= 0 || idx <= 0 {
+		return false
+	}
+	off := 0
+	if rt.cfg.CheckpointStagger {
+		off = cluster % k
+	}
+	return idx%k == off
+}
+
+// recCtx implements rollback.RecoveryContext over the recovery endpoint.
+type recCtx struct {
+	rt  *Runtime
+	ep  *transport.Endpoint
+	now vtime.Time
+}
+
+// Topo implements rollback.RecoveryContext.
+func (r *recCtx) Topo() *rollback.Topology { return r.rt.topo }
+
+// Recv implements rollback.RecoveryContext.
+func (r *recCtx) Recv() (*transport.Msg, error) {
+	m, err := r.ep.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if m.ArriveVT > r.now {
+		r.now = m.ArriveVT
+	}
+	return m, nil
+}
+
+// SendCtl implements rollback.RecoveryContext.
+func (r *recCtx) SendCtl(dst int, body any, wireBytes int) {
+	m := &transport.Msg{
+		Src: r.rt.cfg.NP, Dst: dst, Kind: transport.Ctl,
+		CtlBody: body, WireLen: wireBytes, SendVT: r.now,
+	}
+	_ = r.rt.net.Send(m)
+}
+
+// Now implements rollback.RecoveryContext.
+func (r *recCtx) Now() vtime.Time { return r.now }

@@ -1,0 +1,141 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hydee/internal/vtime"
+)
+
+func TestMyrinetPlateaus(t *testing.T) {
+	m := Myrinet10G()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the observation of §V-C: ~3.3µs up to 32 bytes, then a jump.
+	l32 := m.Latency(32)
+	l33 := m.Latency(33)
+	if l32 >= l33 {
+		t.Fatalf("no plateau jump at 32 bytes: %v vs %v", l32, l33)
+	}
+	if l32 < 3300 || l32 > 3400 {
+		t.Fatalf("small-message latency %v outside the calibrated 3.3µs", l32)
+	}
+	if d := l33 - l32; d < 600 {
+		t.Fatalf("plateau jump too small: %v", d)
+	}
+}
+
+func TestLatencyMonotone(t *testing.T) {
+	for _, m := range []*LogGP{Myrinet10G(), TCPGigE()} {
+		prev := vtime.Duration(0)
+		for n := 1; n <= 16<<20; n = n*5/4 + 1 {
+			total := m.SendOverhead(n) + m.Latency(n) + m.RecvOverhead(n)
+			if total < prev {
+				t.Fatalf("%s: end-to-end cost not monotone at %d bytes: %v < %v", m.Name(), n, total, prev)
+			}
+			prev = total
+		}
+	}
+}
+
+func TestBandwidthAsymptote(t *testing.T) {
+	m := Myrinet10G()
+	n := 64 << 20
+	lat := m.Latency(n)
+	gotBW := float64(n) / lat.Seconds()
+	if gotBW < 0.95*m.BytesPerSec || gotBW > 1.05*m.BytesPerSec {
+		t.Fatalf("asymptotic bandwidth %.3g, model says %.3g", gotBW, m.BytesPerSec)
+	}
+}
+
+func TestCopyCostOverlap(t *testing.T) {
+	m := Myrinet10G()
+	n := 1 << 20
+	raw := m.CopyCost(n, false)
+	overlapped := m.CopyCost(n, true)
+	if overlapped >= raw {
+		t.Fatalf("overlap did not hide the copy: %v >= %v", overlapped, raw)
+	}
+	// Memcpy is faster than the wire, so the copy hides fully up to the
+	// residual contention fraction.
+	want := vtime.Duration(float64(raw) * m.OverlapResidual)
+	if overlapped < want/2 || overlapped > want*2 {
+		t.Fatalf("residual %v far from expected %v", overlapped, want)
+	}
+}
+
+func TestCopyCostZeroBandwidth(t *testing.T) {
+	m := &LogGP{ModelName: "x", BytesPerSec: 1e9}
+	if m.CopyCost(1000, true) != 0 {
+		t.Fatal("copy cost should be 0 when MemBytesPerSec is unset")
+	}
+}
+
+func TestIdealIsFree(t *testing.T) {
+	m := Ideal()
+	if m.SendOverhead(1<<20) != 0 || m.RecvOverhead(1<<20) != 0 {
+		t.Fatal("ideal model has CPU overhead")
+	}
+	if m.Latency(1<<20) > vtime.Microsecond {
+		t.Fatalf("ideal latency too large: %v", m.Latency(1<<20))
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := &LogGP{ModelName: "bad", BytesPerSec: 0}
+	if bad.Validate() == nil {
+		t.Fatal("accepted zero bandwidth")
+	}
+	bad = &LogGP{
+		ModelName:   "bad",
+		BytesPerSec: 1,
+		Steps: []LatencyStep{
+			{MaxBytes: 100, Lat: 5},
+			{MaxBytes: 50, Lat: 10},
+		},
+	}
+	if bad.Validate() == nil {
+		t.Fatal("accepted unsorted steps")
+	}
+	bad = &LogGP{
+		ModelName:   "bad",
+		BytesPerSec: 1,
+		Steps: []LatencyStep{
+			{MaxBytes: 50, Lat: 10},
+			{MaxBytes: 100, Lat: 5},
+		},
+	}
+	if bad.Validate() == nil {
+		t.Fatal("accepted non-monotone latencies")
+	}
+}
+
+// Property: latency is non-negative and weakly monotone in size for any
+// valid plateau configuration.
+func TestLatencyProperties(t *testing.T) {
+	m := Myrinet10G()
+	f := func(a, b uint32) bool {
+		x, y := int(a%(64<<20))+1, int(b%(64<<20))+1
+		if x > y {
+			x, y = y, x
+		}
+		lx, ly := m.Latency(x), m.Latency(y)
+		return lx >= 0 && lx <= ly
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPiggybackConstants(t *testing.T) {
+	if PiggybackBytes <= 0 || InlinePiggybackMax <= 0 {
+		t.Fatal("piggyback constants must be positive")
+	}
+	// The inline threshold must sit on a plateau boundary of the Myrinet
+	// model for the Figure 5 peak at 1 KiB to appear.
+	m := Myrinet10G()
+	if m.Latency(InlinePiggybackMax) >= m.Latency(InlinePiggybackMax+PiggybackBytes) {
+		t.Fatal("piggyback at the threshold does not cross a plateau")
+	}
+}

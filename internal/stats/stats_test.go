@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-sample stddev")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138089935299395) > 1e-12 {
+		t.Fatalf("stddev %v", got)
+	}
+}
+
+func TestNormalizeAndPct(t *testing.T) {
+	out := Normalize([]float64{2, 4}, 2)
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatalf("normalize %v", out)
+	}
+	if got := PctOver(1.05, 1.0); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("pct %v", got)
+	}
+	if PctOver(1, 0) != 0 {
+		t.Fatal("zero base should yield 0")
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	if MaxInt(nil) != 0 || MaxInt([]int{-5, -2, -9}) != -2 {
+		t.Fatal("MaxInt wrong")
+	}
+}
+
+// Property: mean is within [min, max] of its inputs.
+func TestMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			// Skip inputs whose running sum could overflow.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		m := Mean(xs)
+		return m >= lo-1e-9*math.Abs(lo)-1e-9 && m <= hi+1e-9*math.Abs(hi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderAssignsSeq(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(Event{Op: Send, Proc: 0, Peer: 1, MsgDate: 1})
+	r.Record(Event{Op: Send, Proc: 0, Peer: 1, MsgDate: 2})
+	r.Record(Event{Op: Deliver, Proc: 1, Peer: 0, MsgDate: 1})
+	evs := r.Events()
+	if len(evs[0]) != 2 || len(evs[1]) != 1 {
+		t.Fatalf("events: %v", evs)
+	}
+	if evs[0][0].Seq != 0 || evs[0][1].Seq != 1 {
+		t.Fatal("seq not assigned")
+	}
+}
+
+func TestSendSequenceDedupsReplays(t *testing.T) {
+	r := NewRecorder(1)
+	r.Record(Event{Op: Send, Proc: 0, Peer: 1, MsgDate: 1, Phase: 1, Digest: 11})
+	r.Record(Event{Op: Send, Proc: 0, Peer: 1, MsgDate: 2, Phase: 1, Digest: 22})
+	// Re-execution of send (1) after a rollback supersedes the original.
+	r.Record(Event{Op: Send, Proc: 0, Peer: 1, MsgDate: 1, Phase: 1, Digest: 11, Replay: true})
+	seq := SendSequence(r.Events(), 0)
+	if len(seq) != 2 {
+		t.Fatalf("dedup failed: %v", seq)
+	}
+	if seq[0].Date != 1 || seq[1].Date != 2 {
+		t.Fatalf("order wrong: %v", seq)
+	}
+}
+
+func TestEqualSendSeq(t *testing.T) {
+	a := SendSeq{{Dst: 1, Date: 1, Digest: 5}}
+	b := SendSeq{{Dst: 1, Date: 1, Digest: 5}}
+	if err := EqualSendSeq(a, b); err != nil {
+		t.Fatal(err)
+	}
+	c := SendSeq{{Dst: 1, Date: 1, Digest: 6}}
+	if err := EqualSendSeq(a, c); err == nil {
+		t.Fatal("missed digest difference")
+	}
+	if err := EqualSendSeq(a, SendSeq{}); err == nil {
+		t.Fatal("missed length difference")
+	}
+}
+
+func TestPhaseMonotoneDetectsProgramOrderViolation(t *testing.T) {
+	r := NewRecorder(1)
+	r.Record(Event{Op: Send, Proc: 0, Peer: 0, MsgDate: 1, Phase: 3})
+	r.Record(Event{Op: Send, Proc: 0, Peer: 0, MsgDate: 2, Phase: 2})
+	if err := BuildHB(r.Events()).CheckPhaseMonotone(); err == nil {
+		t.Fatal("missed program-order phase decrease")
+	}
+}
+
+func TestPhaseMonotoneDetectsEdgeViolation(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(Event{Op: Send, Proc: 0, Peer: 1, MsgDate: 1, Phase: 5})
+	// Deliver records a process phase below the send phase: violates
+	// Lemma 1 on the send->deliver edge.
+	r.Record(Event{Op: Deliver, Proc: 1, Peer: 0, MsgDate: 1, MsgPhase: 5, Phase: 4})
+	if err := BuildHB(r.Events()).CheckPhaseMonotone(); err == nil {
+		t.Fatal("missed edge phase violation")
+	}
+}
+
+func TestPhaseMonotoneAcceptsValidHistory(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(Event{Op: Send, Proc: 0, Peer: 1, MsgDate: 1, Phase: 1, MsgPhase: 1})
+	r.Record(Event{Op: Deliver, Proc: 1, Peer: 0, MsgDate: 1, MsgPhase: 1, Phase: 2})
+	r.Record(Event{Op: Send, Proc: 1, Peer: 0, MsgDate: 1, Phase: 2, MsgPhase: 2})
+	r.Record(Event{Op: Deliver, Proc: 0, Peer: 1, MsgDate: 1, MsgPhase: 2, Phase: 3})
+	if err := BuildHB(r.Events()).CheckPhaseMonotone(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadDigestDistinguishes(t *testing.T) {
+	if PayloadDigest([]byte("a")) == PayloadDigest([]byte("b")) {
+		t.Fatal("digest collision on trivial inputs")
+	}
+	if PayloadDigest(nil) != PayloadDigest([]byte{}) {
+		t.Fatal("nil and empty should hash equal")
+	}
+}
+
+// Property: SendSequence is idempotent (recomputing over the same events
+// yields the same fingerprint) and sorted by date.
+func TestSendSequenceProperties(t *testing.T) {
+	f := func(dates []uint8) bool {
+		r := NewRecorder(1)
+		for _, d := range dates {
+			r.Record(Event{Op: Send, Proc: 0, Peer: 1, MsgDate: int64(d%32) + 1, Digest: uint64(d)})
+		}
+		a := SendSequence(r.Events(), 0)
+		b := SendSequence(r.Events(), 0)
+		if EqualSendSeq(a, b) != nil {
+			return false
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i].Date < a[i-1].Date {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

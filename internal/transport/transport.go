@@ -1,0 +1,364 @@
+// Package transport implements the reliable FIFO message substrate the
+// HydEE protocol stack runs on.
+//
+// The system model of the paper (§II-A) assumes a set of processes connected
+// by reliable FIFO channels with no synchrony assumption, and fail-stop
+// process failures. Here every simulated process owns an Endpoint with an
+// unbounded mailbox; Network.Send enqueues a message into the destination
+// mailbox immediately (asynchronous, eager buffering — sends never block)
+// and stamps it with a virtual arrival time computed by the network cost
+// model. Per-(src,dst) FIFO order follows from each sender being a single
+// goroutine and enqueueing under the destination mailbox lock.
+//
+// Failures: Kill marks the endpoint dead, wipes its mailbox, unblocks any
+// blocked receiver with ErrKilled and bumps the process's incarnation
+// number. Traffic already enqueued at other processes is left untouched;
+// see Kill for the rationale.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hydee/internal/netmodel"
+	"hydee/internal/vtime"
+)
+
+// Kind discriminates the classes of traffic multiplexed on the channels.
+type Kind uint8
+
+const (
+	// App is an application payload (a Post/Delivery event pair in the
+	// terminology of §II-C). Only App messages are counted in the
+	// communication matrix and subject to logging.
+	App Kind = iota
+	// Ctl is protocol control traffic (rollback notifications, recovery
+	// process messages, garbage-collection acknowledgments, ...).
+	Ctl
+	// Marker is an in-band coordinated-checkpoint flush marker; it obeys
+	// channel FIFO order with App traffic.
+	Marker
+)
+
+func (k Kind) String() string {
+	switch k {
+	case App:
+		return "app"
+	case Ctl:
+		return "ctl"
+	case Marker:
+		return "marker"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Msg is the wire envelope. Protocol fields (Date, Phase) are piggybacked
+// protocol data in the sense of Algorithm 1; WireLen is the modeled
+// application payload size used by the network cost model and byte
+// accounting, while Data carries the (possibly much smaller) real bytes the
+// simulated application computes on.
+type Msg struct {
+	Src, Dst int
+	Kind     Kind
+	Tag      int
+	// Date is the sender's logical date at the send (Algorithm 1 line 6);
+	// it uniquely identifies the message on its channel.
+	Date int64
+	// Phase is the sender's phase number (Algorithm 1 line 9).
+	Phase int
+	// Inc is the incarnation of the sending process at send time.
+	Inc int32
+	// IncSeen is the destination incarnation the sender believed current
+	// at send time. A restarted receiver drops application messages with
+	// a stale IncSeen: such messages were sent before the sender learned
+	// of the rollback and, being inter-cluster, are guaranteed to be in
+	// the sender's log and re-sent with the correct ordering.
+	IncSeen int32
+	// Epoch is the sender's checkpoint sequence number at send time; the
+	// coordinated checkpoint uses it to classify in-transit intra-cluster
+	// messages as pre- or post-snapshot.
+	Epoch int
+	// Round is the last recovery round the sender had processed at send
+	// time (diagnostics).
+	Round int
+	// WireLen is the modeled payload size in bytes. If zero it defaults to
+	// len(Data) at send time.
+	WireLen int
+	// PiggyLen is the modeled size of protocol data carried inline as an
+	// extra segment of this message (small-message strategy of §V-A).
+	PiggyLen int
+	// Data is the actual payload.
+	Data []byte
+	// CtlBody carries a typed protocol control structure for Kind == Ctl.
+	CtlBody any
+	// SendVT and ArriveVT are the virtual send and earliest-delivery times.
+	SendVT, ArriveVT vtime.Time
+}
+
+// Wire returns the modeled number of bytes this message occupies on the wire.
+func (m *Msg) Wire() int { return m.WireLen + m.PiggyLen }
+
+// ErrKilled is returned by receive operations on a killed endpoint.
+var ErrKilled = errors.New("transport: process killed")
+
+// Endpoint is the per-process mailbox.
+type Endpoint struct {
+	id   int
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []*Msg
+	dead bool
+	// droppedWhileDead counts arrivals discarded because the process was
+	// dead; exposed for tests and metrics.
+	droppedWhileDead int
+}
+
+func newEndpoint(id int) *Endpoint {
+	e := &Endpoint{id: id}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// ID reports the endpoint's identifier.
+func (e *Endpoint) ID() int { return e.id }
+
+// Recv blocks until a message is available and returns it in arrival order.
+// It returns ErrKilled if the endpoint is (or becomes) dead.
+func (e *Endpoint) Recv() (*Msg, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.dead {
+			return nil, ErrKilled
+		}
+		if len(e.q) > 0 {
+			m := e.q[0]
+			e.q = e.q[1:]
+			return m, nil
+		}
+		e.cond.Wait()
+	}
+}
+
+// TryRecv returns the next message without blocking. ok reports whether a
+// message was available.
+func (e *Endpoint) TryRecv() (m *Msg, ok bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return nil, false, ErrKilled
+	}
+	if len(e.q) == 0 {
+		return nil, false, nil
+	}
+	m = e.q[0]
+	e.q = e.q[1:]
+	return m, true, nil
+}
+
+// Pending reports the number of queued messages (diagnostics only).
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.q)
+}
+
+// DroppedWhileDead reports how many arrivals were discarded while the
+// endpoint was dead.
+func (e *Endpoint) DroppedWhileDead() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.droppedWhileDead
+}
+
+func (e *Endpoint) enqueue(m *Msg) {
+	e.mu.Lock()
+	if e.dead {
+		e.droppedWhileDead++
+		e.mu.Unlock()
+		return
+	}
+	e.q = append(e.q, m)
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+// kill wipes the queue and unblocks receivers.
+func (e *Endpoint) kill() {
+	e.mu.Lock()
+	e.dead = true
+	e.q = nil
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// revive clears the dead flag; the queue starts empty.
+func (e *Endpoint) revive() {
+	e.mu.Lock()
+	e.dead = false
+	e.q = nil
+	e.mu.Unlock()
+}
+
+// PairStat accumulates traffic accounting for one ordered process pair.
+type PairStat struct {
+	Msgs       int64
+	Bytes      int64 // modeled application payload bytes
+	PiggyBytes int64 // modeled inline protocol bytes
+}
+
+// Network connects the endpoints and applies the cost model.
+type Network struct {
+	model netmodel.Model
+
+	mu    sync.RWMutex
+	eps   map[int]*Endpoint
+	inc   []int32 // incarnation per application rank
+	np    int
+	stats []PairStat // np*np matrix, App traffic between application ranks
+}
+
+// NewNetwork creates a network with application endpoints 0..np-1.
+func NewNetwork(np int, model netmodel.Model) *Network {
+	n := &Network{
+		model: model,
+		eps:   make(map[int]*Endpoint, np+2),
+		inc:   make([]int32, np),
+		np:    np,
+		stats: make([]PairStat, np*np),
+	}
+	for i := 0; i < np; i++ {
+		n.eps[i] = newEndpoint(i)
+	}
+	return n
+}
+
+// NP reports the number of application ranks.
+func (n *Network) NP() int { return n.np }
+
+// Model exposes the cost model in use.
+func (n *Network) Model() netmodel.Model { return n.model }
+
+// Endpoint returns the endpoint with the given id, creating it if it is a
+// non-application (service) id such as the recovery process.
+func (n *Network) Endpoint(id int) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.eps[id]
+	if !ok {
+		e = newEndpoint(id)
+		n.eps[id] = e
+	}
+	return e
+}
+
+// Incs returns a copy of the current incarnation of every application rank.
+func (n *Network) Incs() []int32 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]int32(nil), n.inc...)
+}
+
+// IncOf reports the current incarnation of an application rank. Service
+// endpoints always report zero.
+func (n *Network) IncOf(rank int) int32 {
+	if rank < 0 || rank >= n.np {
+		return 0
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.inc[rank]
+}
+
+// Send stamps and enqueues m. The caller must have set Src, Dst and advanced
+// its clock past the send overhead; SendVT is the sender's clock after that.
+// WireLen defaults to len(Data).
+func (n *Network) Send(m *Msg) error {
+	if m.WireLen == 0 {
+		m.WireLen = len(m.Data)
+	}
+	n.mu.RLock()
+	dst, ok := n.eps[m.Dst]
+	if !ok {
+		n.mu.RUnlock()
+		return fmt.Errorf("transport: send to unknown endpoint %d", m.Dst)
+	}
+	if m.Src >= 0 && m.Src < n.np {
+		m.Inc = n.inc[m.Src]
+	}
+	n.mu.RUnlock()
+
+	m.ArriveVT = m.SendVT.Add(n.model.Latency(m.Wire()))
+	if m.Kind == App && m.Src >= 0 && m.Src < n.np && m.Dst >= 0 && m.Dst < n.np {
+		n.account(m)
+	}
+	dst.enqueue(m)
+	return nil
+}
+
+func (n *Network) account(m *Msg) {
+	idx := m.Src*n.np + m.Dst
+	n.mu.Lock()
+	s := &n.stats[idx]
+	s.Msgs++
+	s.Bytes += int64(m.WireLen)
+	s.PiggyBytes += int64(m.PiggyLen)
+	n.mu.Unlock()
+}
+
+// Stats returns a copy of the pair-traffic matrix (np*np, row = src).
+func (n *Network) Stats() []PairStat {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]PairStat, len(n.stats))
+	copy(out, n.stats)
+	return out
+}
+
+// PairStatAt returns accounting for the ordered pair (src, dst).
+func (n *Network) PairStatAt(src, dst int) PairStat {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.stats[src*n.np+dst]
+}
+
+// Kill marks rank dead: bumps its incarnation, wipes its mailbox and wakes
+// any blocked receiver with ErrKilled. It returns the incarnation the
+// process will restart with.
+//
+// Messages the dead incarnation had already enqueued at other processes are
+// deliberately left in place: a message sent before the victim's checkpoint
+// is not rolled back and must still be delivered, and one sent after it is
+// handled by the protocol's orphan machinery exactly as if it had been
+// delivered just before the failure.
+func (n *Network) Kill(rank int) int32 {
+	n.mu.Lock()
+	n.inc[rank]++
+	newInc := n.inc[rank]
+	victim := n.eps[rank]
+	n.mu.Unlock()
+
+	victim.kill()
+	return newInc
+}
+
+// KillService kills a non-application endpoint (e.g. the recovery process)
+// without touching incarnation bookkeeping.
+func (n *Network) KillService(id int) {
+	n.mu.RLock()
+	e, ok := n.eps[id]
+	n.mu.RUnlock()
+	if ok {
+		e.kill()
+	}
+}
+
+// Restart revives the endpoint of rank with an empty mailbox.
+func (n *Network) Restart(rank int) {
+	n.mu.RLock()
+	e := n.eps[rank]
+	n.mu.RUnlock()
+	e.revive()
+}

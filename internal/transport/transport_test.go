@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"hydee/internal/netmodel"
+	"hydee/internal/vtime"
+)
+
+func send(t *testing.T, n *Network, src, dst int, tag int, at vtime.Time) {
+	t.Helper()
+	err := n.Send(&Msg{Src: src, Dst: dst, Kind: App, Tag: tag, Data: []byte{byte(tag)}, SendVT: at})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerChannel(t *testing.T) {
+	n := NewNetwork(2, netmodel.Ideal())
+	for i := 0; i < 100; i++ {
+		send(t, n, 0, 1, i, 0)
+	}
+	ep := n.Endpoint(1)
+	for i := 0; i < 100; i++ {
+		m, err := ep.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Tag != i {
+			t.Fatalf("out of order: got %d want %d", m.Tag, i)
+		}
+	}
+}
+
+func TestArrivalStamping(t *testing.T) {
+	model := netmodel.Myrinet10G()
+	n := NewNetwork(2, model)
+	at := vtime.Time(1000)
+	err := n.Send(&Msg{Src: 0, Dst: 1, Kind: App, Data: make([]byte, 64), SendVT: at})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := n.Endpoint(1).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := at.Add(model.Latency(64))
+	if m.ArriveVT != want {
+		t.Fatalf("arrival %v, want %v", m.ArriveVT, want)
+	}
+}
+
+func TestPiggybackInflatesWire(t *testing.T) {
+	model := netmodel.Myrinet10G()
+	n := NewNetwork(2, model)
+	err := n.Send(&Msg{Src: 0, Dst: 1, Kind: App, WireLen: 100, PiggyLen: 16, SendVT: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := n.Endpoint(1).Recv()
+	if m.Wire() != 116 {
+		t.Fatalf("wire %d, want 116", m.Wire())
+	}
+	if m.ArriveVT != vtime.Time(model.Latency(116)) {
+		t.Fatalf("latency not computed on inflated wire size")
+	}
+}
+
+func TestKillWipesMailboxAndUnblocks(t *testing.T) {
+	n := NewNetwork(2, netmodel.Ideal())
+	send(t, n, 0, 1, 1, 0)
+
+	done := make(chan error, 1)
+	go func() {
+		ep := n.Endpoint(1)
+		if _, err := ep.Recv(); err != nil { // consumes the queued message
+			done <- err
+			return
+		}
+		_, err := ep.Recv() // blocks until kill
+		done <- err
+	}()
+	// Wait for the goroutine to consume then block.
+	for n.Endpoint(1).Pending() > 0 {
+	}
+	if inc := n.Kill(1); inc != 1 {
+		t.Fatalf("incarnation %d, want 1", inc)
+	}
+	if err := <-done; err != ErrKilled {
+		t.Fatalf("blocked receiver got %v, want ErrKilled", err)
+	}
+	// Arrivals while dead are dropped.
+	send(t, n, 0, 1, 2, 0)
+	if d := n.Endpoint(1).DroppedWhileDead(); d != 1 {
+		t.Fatalf("dropped %d, want 1", d)
+	}
+	// Restart revives with an empty mailbox.
+	n.Restart(1)
+	if p := n.Endpoint(1).Pending(); p != 0 {
+		t.Fatalf("pending after restart: %d", p)
+	}
+	send(t, n, 0, 1, 3, 0)
+	m, err := n.Endpoint(1).Recv()
+	if err != nil || m.Tag != 3 {
+		t.Fatalf("revived endpoint broken: %v %v", m, err)
+	}
+}
+
+func TestKillLeavesPeerMailboxesIntact(t *testing.T) {
+	// A message already enqueued at a live process survives its sender's
+	// death: pre-checkpoint sends are not rolled back (see Kill docs).
+	n := NewNetwork(2, netmodel.Ideal())
+	send(t, n, 0, 1, 7, 0)
+	n.Kill(0)
+	m, err := n.Endpoint(1).Recv()
+	if err != nil || m.Tag != 7 {
+		t.Fatalf("peer mailbox was purged: %v %v", m, err)
+	}
+}
+
+func TestIncarnationStamping(t *testing.T) {
+	n := NewNetwork(2, netmodel.Ideal())
+	send(t, n, 0, 1, 1, 0)
+	n.Kill(0)
+	n.Restart(0)
+	send(t, n, 0, 1, 2, 0)
+	m1, _ := n.Endpoint(1).Recv()
+	m2, _ := n.Endpoint(1).Recv()
+	if m1.Inc != 0 || m2.Inc != 1 {
+		t.Fatalf("incarnations %d,%d want 0,1", m1.Inc, m2.Inc)
+	}
+	if n.IncOf(0) != 1 || n.IncOf(1) != 0 {
+		t.Fatal("IncOf wrong")
+	}
+	incs := n.Incs()
+	if len(incs) != 2 || incs[0] != 1 {
+		t.Fatalf("Incs snapshot wrong: %v", incs)
+	}
+}
+
+func TestAccountingMatrix(t *testing.T) {
+	n := NewNetwork(3, netmodel.Ideal())
+	for i := 0; i < 4; i++ {
+		err := n.Send(&Msg{Src: 0, Dst: 2, Kind: App, WireLen: 100, PiggyLen: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Control traffic is not accounted.
+	_ = n.Send(&Msg{Src: 0, Dst: 2, Kind: Ctl, WireLen: 999})
+	st := n.PairStatAt(0, 2)
+	if st.Msgs != 4 || st.Bytes != 400 || st.PiggyBytes != 32 {
+		t.Fatalf("accounting wrong: %+v", st)
+	}
+	if n.PairStatAt(2, 0).Msgs != 0 {
+		t.Fatal("reverse direction should be empty")
+	}
+}
+
+func TestServiceEndpoints(t *testing.T) {
+	n := NewNetwork(2, netmodel.Ideal())
+	rec := n.Endpoint(2) // recovery-process endpoint, created on demand
+	err := n.Send(&Msg{Src: 0, Dst: 2, Kind: Ctl, CtlBody: "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rec.Recv()
+	if err != nil || m.CtlBody != "hello" {
+		t.Fatalf("service endpoint broken: %v %v", m, err)
+	}
+	n.KillService(2)
+	if _, err := rec.Recv(); err != ErrKilled {
+		t.Fatal("KillService did not kill")
+	}
+}
+
+func TestSendToUnknownEndpoint(t *testing.T) {
+	n := NewNetwork(2, netmodel.Ideal())
+	if err := n.Send(&Msg{Src: 0, Dst: 99}); err == nil {
+		t.Fatal("send to unknown endpoint accepted")
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	n := NewNetwork(2, netmodel.Ideal())
+	ep := n.Endpoint(1)
+	if _, ok, err := ep.TryRecv(); ok || err != nil {
+		t.Fatal("TryRecv on empty mailbox should report not-ok")
+	}
+	send(t, n, 0, 1, 5, 0)
+	m, ok, err := ep.TryRecv()
+	if !ok || err != nil || m.Tag != 5 {
+		t.Fatalf("TryRecv failed: %v %v %v", m, ok, err)
+	}
+	n.Kill(1)
+	if _, _, err := ep.TryRecv(); err != ErrKilled {
+		t.Fatal("TryRecv on dead endpoint should fail")
+	}
+}
+
+func TestConcurrentSendersKeepPerChannelFIFO(t *testing.T) {
+	const (
+		senders = 8
+		msgs    = 500
+	)
+	n := NewNetwork(senders+1, netmodel.Ideal())
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				_ = n.Send(&Msg{Src: s, Dst: senders, Kind: App, Tag: i})
+			}
+		}(s)
+	}
+	seen := make([]int, senders)
+	ep := n.Endpoint(senders)
+	for k := 0; k < senders*msgs; k++ {
+		m, err := ep.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Tag != seen[m.Src] {
+			t.Fatalf("channel %d out of order: got %d want %d", m.Src, m.Tag, seen[m.Src])
+		}
+		seen[m.Src]++
+	}
+	wg.Wait()
+}
+
+func TestKindString(t *testing.T) {
+	if App.String() != "app" || Ctl.String() != "ctl" || Marker.String() != "marker" {
+		t.Fatal("kind strings wrong")
+	}
+}

@@ -1,0 +1,102 @@
+// Package vtime provides the virtual-time primitives used by the simulated
+// message-passing runtime.
+//
+// Every simulated process owns a Clock. Local work advances the clock by a
+// model-computed duration; receiving a message merges the sender-side
+// arrival stamp with a Lamport-style max rule. All protocol measurements in
+// this repository (latency, bandwidth, makespan, recovery time) are
+// expressed in virtual nanoseconds, which makes experiment output
+// deterministic and independent of host load.
+package vtime
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// run. The zero value is the beginning of the execution.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenience duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Max returns the later of t and u.
+func (t Time) Max(u Time) Time {
+	if t > u {
+		return t
+	}
+	return u
+}
+
+// Seconds reports the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros reports the time as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return fmtDuration(int64(t)) }
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros reports the duration as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+func (d Duration) String() string { return fmtDuration(int64(d)) }
+
+func fmtDuration(ns int64) string {
+	switch {
+	case ns < 10_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 10_000_000:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	case ns < 10_000_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	}
+}
+
+// Clock is the virtual clock of one simulated process. It is owned by a
+// single goroutine; methods are not safe for concurrent use.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock positioned at start.
+func NewClock(start Time) *Clock { return &Clock{now: start} }
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative durations are ignored so
+// that cost models may return zero/negative corrections safely.
+func (c *Clock) Advance(d Duration) {
+	if d > 0 {
+		c.now += Time(d)
+	}
+}
+
+// MergeAtLeast moves the clock to t if t is later than the current time.
+// It is the Lamport max-merge applied on message arrival.
+func (c *Clock) MergeAtLeast(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Set forces the clock to t. Used when restoring a process from a
+// checkpoint.
+func (c *Clock) Set(t Time) { c.now = t }

@@ -1,0 +1,111 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(0)
+	c.Advance(10 * Microsecond)
+	if got := c.Now(); got != Time(10000) {
+		t.Fatalf("got %d, want 10000", got)
+	}
+	c.Advance(-5) // negative durations are ignored
+	if got := c.Now(); got != Time(10000) {
+		t.Fatalf("negative advance moved the clock: %d", got)
+	}
+	c.Advance(0)
+	if got := c.Now(); got != Time(10000) {
+		t.Fatalf("zero advance moved the clock: %d", got)
+	}
+}
+
+func TestClockMergeAtLeast(t *testing.T) {
+	c := NewClock(100)
+	c.MergeAtLeast(50)
+	if c.Now() != 100 {
+		t.Fatalf("merge moved clock backwards: %v", c.Now())
+	}
+	c.MergeAtLeast(200)
+	if c.Now() != 200 {
+		t.Fatalf("merge did not move clock forward: %v", c.Now())
+	}
+}
+
+func TestClockSet(t *testing.T) {
+	c := NewClock(100)
+	c.Set(42)
+	if c.Now() != 42 {
+		t.Fatalf("set failed: %v", c.Now())
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(1000)
+	if tm.Add(500) != Time(1500) {
+		t.Fatal("Add failed")
+	}
+	if tm.Sub(Time(400)) != Duration(600) {
+		t.Fatal("Sub failed")
+	}
+	if tm.Max(2000) != Time(2000) || Time(3000).Max(tm) != Time(3000) {
+		t.Fatal("Max failed")
+	}
+}
+
+func TestUnitsAndConversions(t *testing.T) {
+	if Second != 1e9*Nanosecond {
+		t.Fatal("unit mismatch")
+	}
+	if got := Time(2_500_000_000).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds: %v", got)
+	}
+	if got := Duration(1500).Micros(); got != 1.5 {
+		t.Fatalf("Micros: %v", got)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{12_345, "12.35µs"},
+		{12_345_678, "12.35ms"},
+		{12_345_678_901, "12.346s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d: got %q want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+// Property: MergeAtLeast is idempotent and monotone; Advance of positive
+// durations is strictly monotone.
+func TestClockProperties(t *testing.T) {
+	f := func(start int64, merges []int64, adv uint16) bool {
+		c := NewClock(Time(start))
+		prev := c.Now()
+		for _, m := range merges {
+			c.MergeAtLeast(Time(m))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+			before := c.Now()
+			c.MergeAtLeast(Time(m)) // idempotent
+			if c.Now() != before {
+				return false
+			}
+		}
+		before := c.Now()
+		c.Advance(Duration(adv))
+		return c.Now() == before.Add(Duration(adv))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
