@@ -1,13 +1,18 @@
 // Command hydee-cluster runs the off-line process-clustering tool on one
 // kernel or on all six, printing Table-I rows and, with -assign, the full
-// cluster assignment usable in HydEE configurations.
+// cluster assignment usable in HydEE configurations. The network model is
+// selected by name through the hydee registry and the six kernel traces
+// run in parallel.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"hydee"
 )
@@ -16,10 +21,19 @@ func main() {
 	np := flag.Int("np", 256, "number of ranks")
 	iters := flag.Int("iters", 2, "iterations to trace")
 	app := flag.String("app", "", "kernel to cluster (bt,cg,ft,lu,mg,sp); empty = all")
+	net := flag.String("net", "myrinet10g", "network model for the traces ("+strings.Join(hydee.ModelNames(), ", ")+"); clustering output is model-independent — rows derive from payload byte counts only")
+	par := flag.Int("par", 0, "parallel traces (0 = one per CPU)")
 	showAssign := flag.Bool("assign", false, "print the per-rank cluster assignment")
 	flag.Parse()
 
-	rows, err := hydee.Table1(*np, *iters)
+	model, err := hydee.ModelByName(*net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	rows, err := hydee.Table1Ctx(ctx, *np, *iters, model, *par)
 	if err != nil {
 		log.Fatal(err)
 	}

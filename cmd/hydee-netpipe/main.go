@@ -5,25 +5,40 @@
 // only for small messages, with peaks where the 16-byte piggyback pushes a
 // message across a native latency plateau, and near-identical curves with
 // and without logging (the log copy overlaps transmission).
+//
+// The network model is selected by name through the hydee registry and the
+// three sweep configurations run concurrently.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"hydee"
 )
 
 func main() {
 	reps := flag.Int("reps", 10, "round trips per message size")
+	net := flag.String("net", "myrinet10g", "network model: "+strings.Join(hydee.ModelNames(), ", "))
 	flag.Parse()
 
-	rows, err := hydee.Figure5(nil, *reps)
+	model, err := hydee.ModelByName(*net)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("Figure 5 — Myrinet 10G ping-pong performance (reduction vs native MPICH2, %):")
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	rows, err := hydee.Figure5Ctx(ctx, model, nil, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 5 — %s ping-pong performance (reduction vs native MPICH2, %%):\n", model.Name())
 	fmt.Println(hydee.FormatFigure5(rows))
 
 	// Headline observations.

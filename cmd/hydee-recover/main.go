@@ -3,13 +3,18 @@
 // baseline, full message logging, and HydEE, and reports how many ranks
 // roll back, the recovery time, and the makespan cost — the quantitative
 // backing for the paper's introduction claims (less rolled-back
-// computation, faster recovery, freed resources).
+// computation, faster recovery, freed resources). The kernel and network
+// model are selected by name through the registries; Ctrl-C cancels.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"hydee"
 	"hydee/internal/apps"
@@ -23,12 +28,20 @@ func main() {
 	app := flag.String("app", "cg", "kernel (bt,cg,ft,lu,mg,sp)")
 	ckpt := flag.Int("ckpt", 3, "checkpoint every k iterations")
 	failAfter := flag.Int("fail-after", 1, "inject the failure after this many checkpoints")
+	net := flag.String("net", "myrinet10g", "network model: "+strings.Join(hydee.ModelNames(), ", "))
 	flag.Parse()
 
 	k, err := apps.Get(*app)
 	if err != nil {
 		log.Fatal(err)
 	}
+	model, err := hydee.ModelByName(*net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	cl, err := harness.ClusterApp(k, apps.Params{NP: *np, Iters: 2}, graph.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
@@ -36,7 +49,7 @@ func main() {
 	fmt.Printf("%s on %d ranks: %d clusters, %.2f%% logged, %.2f%% expected rollback\n\n",
 		*app, *np, cl.K, 100*cl.CutFrac, 100*cl.ExpRollback)
 
-	rows, err := harness.Containment(k, *np, *iters, *ckpt, cl.Assign, *failAfter)
+	rows, err := harness.ContainmentCtx(ctx, k, *np, *iters, *ckpt, cl.Assign, *failAfter, model)
 	if err != nil {
 		log.Fatal(err)
 	}

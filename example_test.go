@@ -1,6 +1,7 @@
 package hydee_test
 
 import (
+	"context"
 	"fmt"
 
 	"hydee"
@@ -27,6 +28,52 @@ func ExampleRun() {
 		When:  hydee.FailureTrigger{AfterCheckpoints: 1},
 	})
 	failed, err := hydee.Run(cfg, hydee.RingProgram(9, 4096))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	same := true
+	for r := range clean.Results {
+		if clean.Results[r] != failed.Results[r] {
+			same = false
+		}
+	}
+	fmt.Printf("rolled back %d of 4 ranks; results identical: %v\n",
+		failed.Rounds[0].RolledBack, same)
+	// Output:
+	// rolled back 2 of 4 ranks; results identical: true
+}
+
+// ExampleNew is the Engine-based equivalent of ExampleRun: build one
+// engine per configuration with functional options, run under a context.
+func ExampleNew() {
+	ctx := context.Background()
+	topo := hydee.NewTopology([]int{0, 0, 1, 1})
+	base := []hydee.Option{
+		hydee.WithTopology(topo),
+		hydee.WithProtocol(hydee.HydEE()),
+		hydee.WithModel(hydee.Myrinet10G()),
+		hydee.WithCheckpointEvery(3),
+	}
+	cleanEng, err := hydee.New(base...)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	clean, err := cleanEng.Run(ctx, hydee.RingProgram(9, 4096))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	failEng, err := hydee.New(append(base, hydee.WithFailureEvents(hydee.FailureEvent{
+		Ranks: []int{3},
+		When:  hydee.FailureTrigger{AfterCheckpoints: 1},
+	}))...)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	failed, err := failEng.Run(ctx, hydee.RingProgram(9, 4096))
 	if err != nil {
 		fmt.Println(err)
 		return

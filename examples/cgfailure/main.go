@@ -2,10 +2,12 @@
 // benchmark) on 64 ranks, clusters it with the communication-graph tool,
 // and compares how far a single failure spreads under HydEE, full message
 // logging, and globally coordinated checkpointing — the failure-containment
-// story of the paper's introduction.
+// story of the paper's introduction. The six runs (clean and failing, per
+// protocol) execute concurrently through the experiment worker pool.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,13 +19,14 @@ func main() {
 		np    = 64
 		iters = 10
 	)
+	ctx := context.Background()
 	kernel, err := hydee.KernelByName("cg")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Step 1: trace the communication graph and cluster it.
-	sum, err := hydee.RunExperiment(hydee.ExperimentSpec{
+	sum, err := hydee.RunExperimentCtx(ctx, hydee.ExperimentSpec{
 		Kernel: kernel,
 		Params: hydee.KernelParams{NP: np, Iters: 2},
 		Proto:  hydee.ProtoNative,
@@ -36,36 +39,40 @@ func main() {
 	fmt.Printf("clustering: %d clusters, %.2f%% of bytes logged, %.2f%% expected rollback\n",
 		cl.K, 100*cl.CutFrac, 100*cl.ExpRollback)
 
-	// Step 2: inject a failure under each fault-tolerant protocol.
-	for _, proto := range []struct {
+	// Step 2: inject a failure under each fault-tolerant protocol. Each
+	// protocol needs a clean run (reference digests) and a failing run;
+	// all six are independent, so they go through one parallel sweep.
+	protos := []struct {
 		p    hydee.ExperimentProto
 		kind string
 	}{
 		{hydee.ProtoCoord, "coordinated checkpointing"},
 		{hydee.ProtoMLog, "full message logging"},
 		{hydee.ProtoHydEE, "HydEE"},
-	} {
+	}
+	var specs []hydee.ExperimentSpec
+	for _, proto := range protos {
 		spec := hydee.ExperimentSpec{
 			Kernel:          kernel,
 			Params:          hydee.KernelParams{NP: np, Iters: iters},
 			Proto:           proto.p,
 			Assign:          cl.Assign,
 			CheckpointEvery: 3,
-			Failures: hydee.NewFailureSchedule(hydee.FailureEvent{
-				Ranks: []int{np / 2},
-				When:  hydee.FailureTrigger{AfterCheckpoints: 1},
-			}),
 		}
 		clean := spec
-		clean.Failures = nil
-		cleanSum, err := hydee.RunExperiment(clean)
-		if err != nil {
-			log.Fatal(err)
-		}
-		failSum, err := hydee.RunExperiment(spec)
-		if err != nil {
-			log.Fatal(err)
-		}
+		specs = append(specs, clean)
+		spec.Failures = hydee.NewFailureSchedule(hydee.FailureEvent{
+			Ranks: []int{np / 2},
+			When:  hydee.FailureTrigger{AfterCheckpoints: 1},
+		})
+		specs = append(specs, spec)
+	}
+	sums, err := hydee.RunExperiments(ctx, specs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, proto := range protos {
+		cleanSum, failSum := sums[2*i], sums[2*i+1]
 		for r := 0; r < np; r++ {
 			if cleanSum.Digests[r] != failSum.Digests[r] {
 				log.Fatalf("%s: rank %d diverged after recovery", proto.kind, r)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,10 +18,15 @@ import (
 func main() {
 	np := flag.Int("np", 64, "number of ranks to trace (256 reproduces the paper)")
 	iters := flag.Int("iters", 2, "iterations to trace")
+	net := flag.String("net", "myrinet10g", "network model for the traces ("+strings.Join(hydee.ModelNames(), ", ")+"); clustering output is model-independent — rows derive from payload byte counts only")
 	flag.Parse()
 
+	model, err := hydee.ModelByName(*net)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("clustering the six NAS kernels at %d ranks (paper Table I at 256):\n\n", *np)
-	rows, err := hydee.Table1(*np, *iters)
+	rows, err := hydee.Table1Ctx(context.Background(), *np, *iters, model, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 // Command quickstart runs a small send-deterministic stencil under HydEE,
 // kills a process mid-run, and shows that only its cluster rolls back while
-// the recovered execution matches the failure-free one bit-for-bit.
+// the recovered execution matches the failure-free one bit-for-bit. It uses
+// the Engine API: one engine per configuration, built with functional
+// options, reusable across runs and observable through lifecycle events.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,19 +18,23 @@ func main() {
 		np    = 8
 		iters = 12
 	)
+	ctx := context.Background()
 	// Two clusters of four ranks.
 	topo := hydee.NewTopology([]int{0, 0, 0, 0, 1, 1, 1, 1})
 	program := hydee.StencilProgram(iters, 64*1024)
 
-	base := hydee.Config{
-		NP:              np,
-		Topo:            topo,
-		Protocol:        hydee.HydEE(),
-		Model:           hydee.Myrinet10G(),
-		CheckpointEvery: 4,
+	base := []hydee.Option{
+		hydee.WithTopology(topo),
+		hydee.WithProtocol(hydee.HydEE()),
+		hydee.WithModel(hydee.Myrinet10G()),
+		hydee.WithCheckpointEvery(4),
 	}
 
-	clean, err := hydee.Run(base, program)
+	cleanEng, err := hydee.New(base...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := cleanEng.Run(ctx, program)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,12 +42,28 @@ func main() {
 		clean.Makespan, clean.Totals.AppSends, clean.Totals.LoggedMsgs,
 		100*float64(clean.Totals.LoggedBytes)/float64(clean.Totals.AppBytes))
 
-	failing := base
-	failing.Failures = hydee.NewFailureSchedule(hydee.FailureEvent{
-		Ranks: []int{5},
-		When:  hydee.FailureTrigger{AfterCheckpoints: 2},
-	})
-	failed, err := hydee.Run(failing, program)
+	// Same configuration plus a failure schedule and a lifecycle observer
+	// narrating the recovery.
+	failingEng, err := hydee.New(append(base,
+		hydee.WithFailureEvents(hydee.FailureEvent{
+			Ranks: []int{5},
+			When:  hydee.FailureTrigger{AfterCheckpoints: 2},
+		}),
+		hydee.WithObserver(hydee.ObserverFunc(func(ev hydee.RunEvent) {
+			switch ev.Kind {
+			case hydee.EvFailure:
+				fmt.Printf("  [observer] ranks %v failed at %v\n", ev.Ranks, ev.VT)
+			case hydee.EvRecoveryStart:
+				fmt.Printf("  [observer] recovery round %d rolls back ranks %v\n", ev.Round, ev.Ranks)
+			case hydee.EvRecoveryEnd:
+				fmt.Printf("  [observer] recovery round %d done at %v\n", ev.Round, ev.VT)
+			}
+		})),
+	)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	failed, err := failingEng.Run(ctx, program)
 	if err != nil {
 		log.Fatal(err)
 	}

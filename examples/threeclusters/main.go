@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -99,14 +100,21 @@ func phasesOf(rec *hydee.EventRecorder) map[int]int {
 }
 
 func main() {
+	ctx := context.Background()
 	topo := hydee.NewTopology(clusters)
 
 	// Failure-free run: check the figure's phase numbers.
 	rec := hydee.NewEventRecorder(8)
-	if _, err := hydee.Run(hydee.Config{
-		NP: 8, Topo: topo, Protocol: hydee.HydEE(),
-		Model: hydee.Myrinet10G(), Recorder: rec,
-	}, program); err != nil {
+	eng, err := hydee.New(
+		hydee.WithTopology(topo),
+		hydee.WithProtocol(hydee.HydEE()),
+		hydee.WithModel(hydee.Myrinet10G()),
+		hydee.WithRecorder(rec),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.Run(ctx, program); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("failure-free phases (paper Figure 4):")
@@ -122,14 +130,20 @@ func main() {
 	// Now kill Cluster 2 (ranks 1-3) after P3 sent m3, so m3 becomes an
 	// orphan exactly as in §III-B.
 	rec2 := hydee.NewEventRecorder(8)
-	res, err := hydee.Run(hydee.Config{
-		NP: 8, Topo: topo, Protocol: hydee.HydEE(),
-		Model: hydee.Myrinet10G(), Recorder: rec2,
-		Failures: hydee.NewFailureSchedule(hydee.FailureEvent{
+	failEng, err := hydee.New(
+		hydee.WithTopology(topo),
+		hydee.WithProtocol(hydee.HydEE()),
+		hydee.WithModel(hydee.Myrinet10G()),
+		hydee.WithRecorder(rec2),
+		hydee.WithFailureEvents(hydee.FailureEvent{
 			Ranks: []int{2}, // P3; its whole cluster {P2,P3,P4} rolls back
 			When:  hydee.FailureTrigger{AfterSends: 1},
 		}),
-	}, program)
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := failEng.Run(ctx, program)
 	if err != nil {
 		log.Fatal(err)
 	}

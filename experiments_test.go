@@ -6,6 +6,7 @@ package hydee_test
 // crossovers fall). EXPERIMENTS.md records paper-vs-measured values.
 
 import (
+	"context"
 	"testing"
 
 	"hydee"
@@ -197,23 +198,31 @@ func TestE5CheckpointBurst(t *testing.T) {
 }
 
 // TestFacadeSmoke exercises the public API end to end the way the README
-// quickstart does.
+// quickstart does, via the Engine entry point.
 func TestFacadeSmoke(t *testing.T) {
+	ctx := context.Background()
 	topo := hydee.NewTopology([]int{0, 0, 1, 1})
-	clean, err := hydee.Run(hydee.Config{
-		NP: 4, Topo: topo, Protocol: hydee.HydEE(), Model: hydee.Myrinet10G(),
-		CheckpointEvery: 3,
-	}, hydee.StencilProgram(6, 4096))
+	base := []hydee.Option{
+		hydee.WithTopology(topo),
+		hydee.WithProtocol(hydee.HydEE()),
+		hydee.WithModel(hydee.Myrinet10G()),
+		hydee.WithCheckpointEvery(3),
+	}
+	cleanEng, err := hydee.New(base...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	failed, err := hydee.Run(hydee.Config{
-		NP: 4, Topo: topo, Protocol: hydee.HydEE(), Model: hydee.Myrinet10G(),
-		CheckpointEvery: 3,
-		Failures: hydee.NewFailureSchedule(hydee.FailureEvent{
-			Ranks: []int{2}, When: hydee.FailureTrigger{AfterCheckpoints: 1},
-		}),
-	}, hydee.StencilProgram(6, 4096))
+	clean, err := cleanEng.Run(ctx, hydee.StencilProgram(6, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failEng, err := hydee.New(append(base, hydee.WithFailureEvents(hydee.FailureEvent{
+		Ranks: []int{2}, When: hydee.FailureTrigger{AfterCheckpoints: 1},
+	}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed, err := failEng.Run(ctx, hydee.StencilProgram(6, 4096))
 	if err != nil {
 		t.Fatal(err)
 	}

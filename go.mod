@@ -1,0 +1,3 @@
+module hydee
+
+go 1.24

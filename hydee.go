@@ -13,19 +13,27 @@
 //
 // Quick start:
 //
-//	topo := hydee.NewTopology([]int{0, 0, 1, 1})
-//	res, err := hydee.Run(hydee.Config{
-//	    NP:              4,
-//	    Topo:            topo,
-//	    Protocol:        hydee.HydEE(),
-//	    Model:           hydee.Myrinet10G(),
-//	    CheckpointEvery: 5,
-//	}, program)
+//	eng, err := hydee.New(
+//	    hydee.WithTopology(hydee.NewTopology([]int{0, 0, 1, 1})),
+//	    hydee.WithProtocol(hydee.HydEE()),
+//	    hydee.WithModel(hydee.Myrinet10G()),
+//	    hydee.WithCheckpointEvery(5),
+//	)
+//	if err != nil { ... }
+//	res, err := eng.Run(ctx, program)
+//
+// An Engine is reusable across runs, honors context cancellation and
+// deadlines, returns typed errors (*RunError wrapping ErrCanceled,
+// ErrDeadlock, ErrNotSendDeterministic), and streams lifecycle events to
+// an Observer. The struct-based hydee.Run(cfg, program) entry point remains
+// as a thin shim over the same runtime.
 //
 // See examples/ for runnable programs and DESIGN.md for the system map.
 package hydee
 
 import (
+	"context"
+
 	"hydee/internal/apps"
 	"hydee/internal/core"
 	"hydee/internal/failure"
@@ -103,8 +111,18 @@ const (
 	OpMin = mpi.OpMin
 )
 
-// Run executes a program under the configuration.
+// Model is a network cost model.
+type Model = netmodel.Model
+
+// Run executes a program under the configuration. It is a thin shim over
+// an Engine, kept for struct-based callers; new code should prefer
+// hydee.New(...).Run(ctx, program).
 func Run(cfg Config, program Program) (*Result, error) { return mpi.Run(cfg, program) }
+
+// RunContext is Run honoring ctx cancellation and deadlines.
+func RunContext(ctx context.Context, cfg Config, program Program) (*Result, error) {
+	return mpi.RunContext(ctx, cfg, program)
+}
 
 // Event tracing (application-level Post/Delivery events, §II-C).
 type (
@@ -251,9 +269,27 @@ const (
 // RunExperiment executes one harness spec.
 func RunExperiment(s ExperimentSpec) (*ExperimentSummary, error) { return harness.Run(s) }
 
+// RunExperimentCtx executes one harness spec, honoring ctx.
+func RunExperimentCtx(ctx context.Context, s ExperimentSpec) (*ExperimentSummary, error) {
+	return harness.RunCtx(ctx, s)
+}
+
+// RunExperiments executes independent specs through a bounded worker pool
+// (parallelism <= 0 uses one worker per CPU) and returns summaries in spec
+// order; runs are isolated, so results are identical to the serial path.
+func RunExperiments(ctx context.Context, specs []ExperimentSpec, parallelism int) ([]*ExperimentSummary, error) {
+	return harness.RunAll(ctx, specs, parallelism)
+}
+
 // Table1 regenerates Table I at np ranks.
 func Table1(np, traceIters int) ([]Table1Row, error) {
 	return harness.Table1(np, traceIters, graph.DefaultOptions())
+}
+
+// Table1Ctx is Table1 with a context, an explicit network model (nil =
+// Myrinet10G) and a sweep parallelism (<= 0 = one worker per CPU).
+func Table1Ctx(ctx context.Context, np, traceIters int, model Model, parallelism int) ([]Table1Row, error) {
+	return harness.Table1Ctx(ctx, np, traceIters, graph.DefaultOptions(), model, parallelism)
 }
 
 // Figure5 regenerates Figure 5 (nil model = Myrinet10G, nil sizes =
@@ -262,9 +298,23 @@ func Figure5(sizes []int, reps int) ([]Fig5Row, error) {
 	return harness.Figure5(netmodel.Myrinet10G(), sizes, reps)
 }
 
+// Figure5Ctx is Figure5 with a context and an explicit network model (nil
+// = Myrinet10G); the three sweep configurations run concurrently.
+func Figure5Ctx(ctx context.Context, model Model, sizes []int, reps int) ([]Fig5Row, error) {
+	return harness.Figure5Ctx(ctx, model, sizes, reps)
+}
+
 // Figure6 regenerates Figure 6 at np ranks with the given clusterings.
 func Figure6(np, iters int, clusterings map[string][]int) ([]Fig6Row, error) {
 	return harness.Figure6(np, iters, clusterings)
+}
+
+// Figure6Ctx is Figure6 with a context, an explicit network model (nil =
+// Myrinet10G), a configurable comparator protocol for the middle bar
+// (ProtoMLog reproduces the paper) and a sweep parallelism (<= 0 = one
+// worker per CPU).
+func Figure6Ctx(ctx context.Context, np, iters int, clusterings map[string][]int, model Model, comparator ExperimentProto, parallelism int) ([]Fig6Row, error) {
+	return harness.Figure6Ctx(ctx, np, iters, clusterings, model, comparator, parallelism)
 }
 
 // Clusterings runs the clustering tool for every kernel.

@@ -80,7 +80,7 @@ func (rp *recovery) Run(round rollback.RoundInfo) (rollback.RecoveryStats, error
 		minBlocked := int(^uint(0) >> 1) // max int
 		for ph, n := range nbOrphan {
 			if n < 0 {
-				return fmt.Errorf("core: recovery round %d: orphan count for phase %d went negative", round.Round, ph)
+				return fmt.Errorf("core: recovery round %d: orphan count for phase %d went negative (replayed sends diverge from the pre-failure execution): %w", round.Round, ph, rollback.ErrNotSendDeterministic)
 			}
 			if n > 0 && ph < minBlocked {
 				minBlocked = ph
@@ -150,7 +150,7 @@ func (rp *recovery) Run(round rollback.RoundInfo) (rollback.RecoveryStats, error
 				return stats, err
 			}
 		} else if nbOrphan[b.Phase] < 0 {
-			return stats, fmt.Errorf("core: recovery round %d: orphan count for phase %d went negative", round.Round, b.Phase)
+			return stats, fmt.Errorf("core: recovery round %d: orphan count for phase %d went negative (replayed sends diverge from the pre-failure execution): %w", round.Round, b.Phase, rollback.ErrNotSendDeterministic)
 		}
 	}
 	stats.EndVT = rp.rx.Now()

@@ -1,11 +1,15 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"hydee/internal/apps"
 	"hydee/internal/failure"
 	"hydee/internal/graph"
+	"hydee/internal/mpi"
 	"hydee/internal/netmodel"
 	"hydee/internal/netpipe"
 	"hydee/internal/vtime"
@@ -34,12 +38,27 @@ type Table1Row struct {
 // Table1 traces each kernel's communication graph at np ranks and runs the
 // clustering tool on it.
 func Table1(np, traceIters int, opt graph.Options) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, k := range apps.Registry() {
-		g, _, err := TraceGraph(k, apps.Params{NP: np, Iters: traceIters})
-		if err != nil {
-			return nil, fmt.Errorf("table1: %s: %w", k.Name, err)
-		}
+	return Table1Ctx(context.Background(), np, traceIters, opt, nil, 0)
+}
+
+// Table1Ctx is Table1 with a context, an explicit network model (nil =
+// Myrinet10G) and a sweep parallelism (<= 0 = one worker per CPU). The six
+// kernel traces are independent runs, so they execute through RunAll; the
+// clustering itself is serial and deterministic, making the rows identical
+// to the serial path at any parallelism.
+func Table1Ctx(ctx context.Context, np, traceIters int, opt graph.Options, model netmodel.Model, parallelism int) ([]Table1Row, error) {
+	kernels := apps.Registry()
+	specs := make([]Spec, len(kernels))
+	for i, k := range kernels {
+		specs[i] = TraceSpec(k, apps.Params{NP: np, Iters: traceIters}, model)
+	}
+	sums, err := RunAll(ctx, specs, parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	rows := make([]Table1Row, 0, len(kernels))
+	for i, k := range kernels {
+		g := graph.FromPairBytes(np, sums[i].PairBytes)
 		res := graph.Cluster(g, opt)
 		scale := float64(k.ClassIters) / float64(traceIters)
 		rows = append(rows, Table1Row{
@@ -73,27 +92,53 @@ type Fig5Row struct {
 // Figure5 sweeps the ping-pong benchmark in the paper's three
 // configurations over the Myrinet 10G model.
 func Figure5(model netmodel.Model, sizes []int, reps int) ([]Fig5Row, error) {
+	return Figure5Ctx(context.Background(), model, sizes, reps)
+}
+
+// Figure5Ctx is Figure5 with a context; the three sweep configurations
+// (native, same-cluster HydEE, cross-cluster HydEE) run concurrently.
+func Figure5Ctx(ctx context.Context, model netmodel.Model, sizes []int, reps int) ([]Fig5Row, error) {
 	if model == nil {
 		model = netmodel.Myrinet10G()
 	}
-	native, err := netpipe.Run(netpipe.Config{Model: model, Sizes: sizes, Reps: reps})
-	if err != nil {
-		return nil, err
+	configs := []netpipe.Config{
+		{Model: model, Sizes: sizes, Reps: reps},
+		{Model: model, Sizes: sizes, Reps: reps, Protocol: hydeeProtocol(), SameCluster: true},
+		{Model: model, Sizes: sizes, Reps: reps, Protocol: hydeeProtocol(), SameCluster: false},
 	}
-	noLog, err := netpipe.Run(netpipe.Config{
-		Model: model, Sizes: sizes, Reps: reps,
-		Protocol: hydeeProtocol(), SameCluster: true,
-	})
-	if err != nil {
-		return nil, err
+	sweepCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sweeps := make([][]netpipe.Point, len(configs))
+	errs := make([]error, len(configs))
+	var wg sync.WaitGroup
+	for i, cfg := range configs {
+		wg.Add(1)
+		go func(i int, cfg netpipe.Config) {
+			defer wg.Done()
+			sweeps[i], errs[i] = netpipe.RunCtx(sweepCtx, cfg)
+			if errs[i] != nil {
+				cancel() // don't let sibling sweeps run to completion
+			}
+		}(i, cfg)
 	}
-	withLog, err := netpipe.Run(netpipe.Config{
-		Model: model, Sizes: sizes, Reps: reps,
-		Protocol: hydeeProtocol(), SameCluster: false,
-	})
-	if err != nil {
-		return nil, err
+	wg.Wait()
+	// Prefer the real failure over the sibling cancellations it caused.
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, mpi.ErrCanceled) {
+			return nil, err
+		}
+		if fallback == nil {
+			fallback = err
+		}
 	}
+	if fallback != nil {
+		return nil, fallback
+	}
+	native, noLog, withLog := sweeps[0], sweeps[1], sweeps[2]
 	if len(noLog) != len(native) || len(withLog) != len(native) {
 		return nil, fmt.Errorf("figure5: sweep lengths differ")
 	}
@@ -131,34 +176,45 @@ type Fig6Row struct {
 // Figure6 runs each kernel under native, full message logging, and HydEE
 // with the given clusterings, failure-free, and reports normalized times.
 func Figure6(np, iters int, clusterings map[string][]int) ([]Fig6Row, error) {
-	var rows []Fig6Row
-	for _, k := range apps.Registry() {
+	return Figure6Ctx(context.Background(), np, iters, clusterings, nil, ProtoMLog, 0)
+}
+
+// Figure6Ctx is Figure6 with a context, an explicit network model (nil =
+// Myrinet10G), a configurable comparator protocol for the middle bar
+// (ProtoMLog reproduces the paper), and a sweep parallelism (<= 0 = one
+// worker per CPU). The 3*|kernels| runs are independent and execute
+// through RunAll.
+func Figure6Ctx(ctx context.Context, np, iters int, clusterings map[string][]int, model netmodel.Model, comparator Proto, parallelism int) ([]Fig6Row, error) {
+	kernels := apps.Registry()
+	specs := make([]Spec, 0, 3*len(kernels))
+	for _, k := range kernels {
 		assign, ok := clusterings[k.Name]
 		if !ok {
 			return nil, fmt.Errorf("figure6: no clustering for %s", k.Name)
 		}
 		params := apps.Params{NP: np, Iters: iters}
-		nat, err := Run(Spec{Kernel: k, Params: params, Proto: ProtoNative})
-		if err != nil {
-			return nil, err
-		}
-		mlog, err := Run(Spec{Kernel: k, Params: params, Proto: ProtoMLog})
-		if err != nil {
-			return nil, err
-		}
-		hyd, err := Run(Spec{Kernel: k, Params: params, Proto: ProtoHydEE, Assign: assign})
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs,
+			Spec{Kernel: k, Params: params, Proto: ProtoNative, Model: model},
+			Spec{Kernel: k, Params: params, Proto: comparator, Assign: assign, Model: model},
+			Spec{Kernel: k, Params: params, Proto: ProtoHydEE, Assign: assign, Model: model},
+		)
+	}
+	sums, err := RunAll(ctx, specs, parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("figure6: %w", err)
+	}
+	rows := make([]Fig6Row, 0, len(kernels))
+	for i, k := range kernels {
+		nat, cmp, hyd := sums[3*i], sums[3*i+1], sums[3*i+2]
 		if err := SameDigests(nat, hyd); err != nil {
 			return nil, fmt.Errorf("figure6: %s: hydee diverged from native: %w", k.Name, err)
 		}
 		base := float64(nat.Makespan)
 		rows = append(rows, Fig6Row{
 			App:            k.Name,
-			MLogNorm:       float64(mlog.Makespan) / base,
+			MLogNorm:       float64(cmp.Makespan) / base,
 			HydEENorm:      float64(hyd.Makespan) / base,
-			MLogPct:        (float64(mlog.Makespan)/base - 1) * 100,
+			MLogPct:        (float64(cmp.Makespan)/base - 1) * 100,
 			HydEEPct:       (float64(hyd.Makespan)/base - 1) * 100,
 			HydEELoggedPct: hyd.LoggedFrac * 100,
 			NativeTime:     nat.Makespan,
@@ -205,6 +261,12 @@ type E4Row struct {
 // fault-tolerant protocol and measures how far it spreads. Results are
 // also validated against the failure-free digests.
 func Containment(k apps.Kernel, np, iters, ckptEvery int, assign []int, failAfterCkpts int) ([]E4Row, error) {
+	return ContainmentCtx(context.Background(), k, np, iters, ckptEvery, assign, failAfterCkpts, nil)
+}
+
+// ContainmentCtx is Containment with a context and an explicit network
+// model (nil = Myrinet10G).
+func ContainmentCtx(ctx context.Context, k apps.Kernel, np, iters, ckptEvery int, assign []int, failAfterCkpts int, model netmodel.Model) ([]E4Row, error) {
 	var rows []E4Row
 	sched := func() *failure.Schedule {
 		return failure.NewSchedule(failure.Event{
@@ -214,14 +276,14 @@ func Containment(k apps.Kernel, np, iters, ckptEvery int, assign []int, failAfte
 	}
 	for _, proto := range []Proto{ProtoCoord, ProtoMLog, ProtoHydEE} {
 		params := apps.Params{NP: np, Iters: iters}
-		base := Spec{Kernel: k, Params: params, Proto: proto, Assign: assign, CheckpointEvery: ckptEvery}
-		clean, err := Run(base)
+		base := Spec{Kernel: k, Params: params, Proto: proto, Assign: assign, CheckpointEvery: ckptEvery, Model: model}
+		clean, err := RunCtx(ctx, base)
 		if err != nil {
 			return nil, fmt.Errorf("e4: %s/%s clean: %w", k.Name, proto, err)
 		}
 		withFail := base
 		withFail.Failures = sched()
-		failed, err := Run(withFail)
+		failed, err := RunCtx(ctx, withFail)
 		if err != nil {
 			return nil, fmt.Errorf("e4: %s/%s failed: %w", k.Name, proto, err)
 		}

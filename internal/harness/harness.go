@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -51,6 +52,17 @@ func (p Proto) String() string {
 	default:
 		return fmt.Sprintf("proto(%d)", int(p))
 	}
+}
+
+// ProtoByName resolves a protocol-configuration name ("native", "coord",
+// "mlog", "hydee") to its Proto selector.
+func ProtoByName(name string) (Proto, error) {
+	for _, p := range []Proto{ProtoNative, ProtoCoord, ProtoMLog, ProtoHydEE} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown protocol %q (want native, coord, mlog or hydee)", name)
 }
 
 // Spec describes one run.
@@ -117,7 +129,10 @@ func (s *Spec) topoAndProtocol() (*rollback.Topology, rollback.Protocol, error) 
 }
 
 // Run executes the spec.
-func Run(s Spec) (*Summary, error) {
+func Run(s Spec) (*Summary, error) { return RunCtx(context.Background(), s) }
+
+// RunCtx executes the spec, honoring ctx cancellation.
+func RunCtx(ctx context.Context, s Spec) (*Summary, error) {
 	if s.Params.NP <= 0 {
 		return nil, fmt.Errorf("harness: NP must be positive")
 	}
@@ -132,7 +147,7 @@ func Run(s Spec) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := mpi.Run(mpi.Config{
+	res, err := mpi.RunContext(ctx, mpi.Config{
 		NP:                s.Params.NP,
 		Model:             s.Model,
 		Topo:              topo,
@@ -189,6 +204,12 @@ func TraceGraph(k apps.Kernel, p apps.Params) (*graph.Graph, *Summary, error) {
 		return nil, nil, err
 	}
 	return graph.FromPairBytes(p.NP, sum.PairBytes), sum, nil
+}
+
+// TraceSpec is the failure-free native spec TraceGraph runs; the parallel
+// sweeps build batches of it.
+func TraceSpec(k apps.Kernel, p apps.Params, model netmodel.Model) Spec {
+	return Spec{Kernel: k, Params: p, Proto: ProtoNative, Model: model}
 }
 
 // ClusterApp traces the kernel and partitions its communication graph.

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hydee/internal/mpi"
+)
+
+// DefaultParallelism is the worker count RunAll uses when the caller passes
+// parallelism <= 0. Each run is itself goroutine-heavy but CPU-bound in
+// aggregate, so one worker per CPU is the sweet spot.
+func DefaultParallelism() int { return runtime.NumCPU() }
+
+// RunAll executes independent specs through a bounded worker pool and
+// returns their summaries in spec order. Every run is deterministic and
+// isolated (own network, own store), so the results are identical to the
+// serial path regardless of parallelism or scheduling.
+//
+// On the first error (in spec order), the remaining unstarted specs are
+// abandoned, in-flight runs are canceled, and that error is returned.
+// Cancelling ctx cancels every run.
+func RunAll(ctx context.Context, specs []Spec, parallelism int) ([]*Summary, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if parallelism <= 0 {
+		parallelism = DefaultParallelism()
+	}
+	if parallelism > len(specs) {
+		parallelism = len(specs)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type slot struct {
+		sum *Summary
+		err error
+	}
+	out := make([]slot, len(specs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				sum, err := RunCtx(runCtx, specs[i])
+				out[i] = slot{sum, err}
+				if err != nil {
+					cancel() // first failure stops the sweep
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		if runCtx.Err() != nil {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// Report the first real failure in spec order. Runs the pool itself
+	// canceled after that failure surface ErrCanceled — only fall back to
+	// one of those when nothing else failed (caller-canceled sweep).
+	var fallback error
+	sums := make([]*Summary, len(specs))
+	for i, s := range out {
+		if s.err != nil {
+			// RunCtx already names the kernel/proto; add only the index.
+			wrapped := fmt.Errorf("harness: spec %d: %w", i, s.err)
+			if !errors.Is(s.err, mpi.ErrCanceled) {
+				return nil, wrapped
+			}
+			if fallback == nil {
+				fallback = wrapped
+			}
+		}
+		sums[i] = s.sum
+	}
+	if fallback != nil {
+		return nil, fallback
+	}
+	for _, s := range sums {
+		if s == nil {
+			// The sweep was cut short before this spec was dispatched
+			// (only cancellation stops dispatch); fail rather than
+			// return a partial sweep. A cancellation that lands after
+			// every spec completed deliberately returns the full result.
+			return nil, fmt.Errorf("harness: sweep canceled: %w", context.Cause(ctx))
+		}
+	}
+	return sums, nil
+}

@@ -9,7 +9,6 @@ package mpi
 import (
 	"errors"
 	"fmt"
-	"io"
 	"time"
 
 	"hydee/internal/checkpoint"
@@ -50,8 +49,11 @@ type Config struct {
 	// Recorder, when non-nil, records application-level events for the
 	// property tests.
 	Recorder *trace.Recorder
-	// Log, when non-nil, receives debug output.
-	Log io.Writer
+	// Observer, when non-nil, receives structured lifecycle events
+	// (checkpoints, failures, recovery rounds, completion). Use
+	// NewLogObserver for a debug stream comparable to the former
+	// Config.Log writer.
+	Observer Observer
 	// MaxRounds caps recovery rounds as a runaway backstop; 0 derives it
 	// from the failure schedule.
 	MaxRounds int
@@ -67,9 +69,22 @@ func (cfg *Config) watchdog() time.Duration {
 	return 60 * time.Second
 }
 
+// Validate reports whether the configuration is runnable without mutating
+// it (defaults are applied to a copy).
+func Validate(cfg Config) error { return cfg.normalize() }
+
 func (cfg *Config) normalize() error {
 	if cfg.NP <= 0 {
 		return errors.New("mpi: NP must be positive")
+	}
+	if cfg.CheckpointEvery < 0 {
+		return fmt.Errorf("mpi: CheckpointEvery must be >= 0, got %d", cfg.CheckpointEvery)
+	}
+	if cfg.MaxRounds < 0 {
+		return fmt.Errorf("mpi: MaxRounds must be >= 0, got %d", cfg.MaxRounds)
+	}
+	if cfg.Watchdog < 0 {
+		return fmt.Errorf("mpi: Watchdog must be >= 0, got %v", cfg.Watchdog)
 	}
 	if cfg.Model == nil {
 		cfg.Model = netmodel.Ideal()

@@ -26,7 +26,7 @@ func TestDebugRecovery(t *testing.T) {
 			When:  failure.Trigger{AfterCheckpoints: 2},
 		}),
 		Watchdog: 60 * time.Second,
-		Log:      os.Stderr,
+		Observer: mpi.NewLogObserver(os.Stderr),
 	}, ringProgram(12))
 	if err != nil {
 		t.Fatal(err)

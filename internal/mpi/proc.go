@@ -362,6 +362,11 @@ func (p *Proc) checkpointCall() error {
 	p.metrics.Checkpoints++
 	p.metrics.CkptBytes += snap.CostBytes()
 	p.ckptsDone++
+	round := -1
+	if p.round != nil {
+		round = p.round.Round
+	}
+	p.rt.obs.emit(Event{Kind: EvCheckpoint, Rank: p.rank, Round: round, Seq: seq, VT: p.clock.Now()})
 	return p.maybeFail()
 }
 

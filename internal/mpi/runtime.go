@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ type Runtime struct {
 	store   checkpoint.Store
 	inj     *failure.Injector
 	rec     *trace.Recorder
+	obs     *observerMux
 	program Program
 
 	evCh     chan procEvent
@@ -63,8 +65,16 @@ func (rt *Runtime) event(ev procEvent) { rt.evCh <- ev }
 
 // Run executes program under cfg and returns the aggregated result.
 func Run(cfg Config, program Program) (*Result, error) {
+	return RunContext(context.Background(), cfg, program)
+}
+
+// RunContext executes program under cfg, honoring ctx: when the context is
+// canceled or its deadline expires, the supervisor kills every process
+// endpoint, all rank goroutines unwind promptly, and the run returns a
+// *RunError wrapping ErrCanceled.
+func RunContext(ctx context.Context, cfg Config, program Program) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
-		return nil, err
+		return nil, runErr(-1, -1, PhaseConfig, err)
 	}
 	rt := &Runtime{
 		cfg:      cfg,
@@ -73,6 +83,7 @@ func Run(cfg Config, program Program) (*Result, error) {
 		prot:     cfg.Protocol,
 		store:    cfg.Store,
 		rec:      cfg.Recorder,
+		obs:      &observerMux{obs: cfg.Observer},
 		program:  program,
 		net:      transport.NewNetwork(cfg.NP, cfg.Model),
 		evCh:     make(chan procEvent, 4*cfg.NP+16),
@@ -88,12 +99,14 @@ func Run(cfg Config, program Program) (*Result, error) {
 	// buffered rather than lost.
 	rt.net.Endpoint(cfg.NP)
 
+	rt.obs.emit(Event{Kind: EvRunStart, Rank: -1, Round: -1})
 	for r := 0; r < cfg.NP; r++ {
 		rt.startProc(r, nil, nil, 0)
 	}
-	err := rt.supervise()
+	err := rt.supervise(ctx)
 	rt.drainAndJoin()
 	if err != nil {
+		rt.obs.emit(Event{Kind: EvRunAbort, Rank: -1, Round: -1, Err: err})
 		return nil, err
 	}
 
@@ -116,6 +129,7 @@ func Run(cfg Config, program Program) (*Result, error) {
 		}
 		res.Totals.Add(&rt.metrics[r])
 	}
+	rt.obs.emit(Event{Kind: EvRunComplete, Rank: -1, Round: -1, VT: res.Makespan})
 	return res, nil
 }
 
@@ -132,7 +146,7 @@ type roundState struct {
 	recovering   bool
 }
 
-func (rt *Runtime) supervise() error {
+func (rt *Runtime) supervise(ctx context.Context) error {
 	np := rt.cfg.NP
 	finished := make([]bool, np)
 	finCount := 0
@@ -145,10 +159,11 @@ func (rt *Runtime) supervise() error {
 	watchdog := time.NewTimer(watchdogDur)
 	defer watchdog.Stop()
 
-	logf := func(format string, args ...any) {
-		if rt.cfg.Log != nil {
-			fmt.Fprintf(rt.cfg.Log, "[runtime] "+format+"\n", args...)
+	curRound := func() int {
+		if cur != nil {
+			return cur.info.Round
 		}
+		return -1
 	}
 
 	for finCount < np || cur != nil || len(pendingFails) > 0 {
@@ -164,17 +179,18 @@ func (rt *Runtime) supervise() error {
 					finished[ev.rank] = true
 					finCount++
 				}
-				logf("rank %d finished at %v (%d/%d)", ev.rank, ev.vt, finCount, np)
+				rt.obs.emit(Event{Kind: EvRankFinished, Rank: ev.rank, Round: curRound(), VT: ev.vt})
 
 			case evFatal:
 				rt.abort()
-				return fmt.Errorf("mpi: rank %d failed: %w", ev.rank, ev.err)
+				return runErr(ev.rank, curRound(), PhaseProgram, ev.err)
 
 			case evFail:
-				logf("failure of ranks %v detected at %v", ev.ranks, ev.vt)
+				rt.obs.emit(Event{Kind: EvFailure, Rank: -1, Ranks: ev.ranks, Round: -1, VT: ev.vt})
 				if !rt.prot.Tolerates() {
 					rt.abort()
-					return fmt.Errorf("mpi: protocol %q cannot tolerate the injected failure of ranks %v", rt.prot.Name(), ev.ranks)
+					return runErr(-1, -1, PhaseSupervise,
+						fmt.Errorf("protocol %q cannot tolerate the injected failure of ranks %v", rt.prot.Name(), ev.ranks))
 				}
 				pendingFails = append(pendingFails, ev)
 				if cur == nil {
@@ -183,14 +199,14 @@ func (rt *Runtime) supervise() error {
 					roundsRun++
 					if roundsRun > rt.cfg.MaxRounds {
 						rt.abort()
-						return fmt.Errorf("mpi: more than MaxRounds=%d recovery rounds", rt.cfg.MaxRounds)
+						return runErr(-1, curRound(), PhaseSupervise,
+							fmt.Errorf("more than MaxRounds=%d recovery rounds", rt.cfg.MaxRounds))
 					}
 				}
 
 			case evDied:
 				if cur != nil && cur.waitingDeath[ev.rank] {
 					delete(cur.waitingDeath, ev.rank)
-					logf("rank %d unwound (%d left)", ev.rank, len(cur.waitingDeath))
 					if len(cur.waitingDeath) == 0 && !cur.recovering {
 						rt.launchRound(cur)
 					}
@@ -201,9 +217,9 @@ func (rt *Runtime) supervise() error {
 			case evRecoveryDone:
 				if ev.err != nil {
 					rt.abort()
-					return fmt.Errorf("mpi: recovery round %d: %w", ev.stats.Round, ev.err)
+					return runErr(-1, ev.stats.Round, PhaseRecovery, ev.err)
 				}
-				logf("recovery round %d done at %v", ev.stats.Round, ev.stats.EndVT)
+				rt.obs.emit(Event{Kind: EvRecoveryEnd, Rank: -1, Round: ev.stats.Round, VT: ev.stats.EndVT, Stats: &ev.stats})
 				rt.mu.Lock()
 				rt.rounds = append(rt.rounds, ev.stats)
 				rt.mu.Unlock()
@@ -214,15 +230,21 @@ func (rt *Runtime) supervise() error {
 					roundsRun++
 					if roundsRun > rt.cfg.MaxRounds {
 						rt.abort()
-						return fmt.Errorf("mpi: more than MaxRounds=%d recovery rounds", rt.cfg.MaxRounds)
+						return runErr(-1, curRound(), PhaseSupervise,
+							fmt.Errorf("more than MaxRounds=%d recovery rounds", rt.cfg.MaxRounds))
 					}
 				}
 			}
 
+		case <-ctx.Done():
+			rt.abort()
+			return runErr(-1, curRound(), PhaseSupervise, fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx)))
+
 		case <-watchdog.C:
 			rt.abort()
-			return fmt.Errorf("mpi: watchdog: no supervisor event for %v (deadlock or overlapping failures; %d/%d finished, round active: %v)",
-				watchdogDur, finCount, np, cur != nil)
+			return runErr(-1, curRound(), PhaseSupervise,
+				fmt.Errorf("%w: no supervisor event for %v (deadlock or overlapping failures; %d/%d finished, round active: %v)",
+					ErrDeadlock, watchdogDur, finCount, np, cur != nil))
 		}
 	}
 
@@ -246,6 +268,7 @@ func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadE
 		DetectVT:       ev.vt,
 	}
 	rt.roundSeq++
+	rt.obs.emit(Event{Kind: EvRecoveryStart, Rank: -1, Round: info.Round, Ranks: info.RolledBack, VT: ev.vt})
 	rs := &roundState{info: info, waitingDeath: make(map[int]bool, len(scope))}
 	for _, r := range scope {
 		rs.waitingDeath[r] = true

@@ -74,8 +74,12 @@ func TestWatchdogDetectsDeadlock(t *testing.T) {
 		_, _, err := c.Recv((c.Rank()+1)%2, 42)
 		return err
 	})
-	if err == nil || !strings.Contains(err.Error(), "watchdog") {
+	if !errors.Is(err, mpi.ErrDeadlock) {
 		t.Fatalf("watchdog did not fire: %v", err)
+	}
+	var re *mpi.RunError
+	if !errors.As(err, &re) || re.Phase != mpi.PhaseSupervise {
+		t.Fatalf("want *RunError in phase %q, got %#v", mpi.PhaseSupervise, err)
 	}
 }
 

@@ -7,6 +7,7 @@
 package netpipe
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -103,7 +104,10 @@ func pingpong(reps, size int) mpi.Program {
 }
 
 // Run executes the sweep.
-func Run(cfg Config) ([]Point, error) {
+func Run(cfg Config) ([]Point, error) { return RunCtx(context.Background(), cfg) }
+
+// RunCtx executes the sweep, honoring ctx between and during size points.
+func RunCtx(ctx context.Context, cfg Config) ([]Point, error) {
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("netpipe: model required")
 	}
@@ -124,7 +128,7 @@ func Run(cfg Config) ([]Point, error) {
 	}
 	out := make([]Point, 0, len(sizes))
 	for _, size := range sizes {
-		res, err := mpi.Run(mpi.Config{
+		res, err := mpi.RunContext(ctx, mpi.Config{
 			NP:       2,
 			Model:    cfg.Model,
 			Topo:     topo,

@@ -10,6 +10,7 @@
 package rollback
 
 import (
+	"errors"
 	"fmt"
 
 	"hydee/internal/checkpoint"
@@ -17,6 +18,13 @@ import (
 	"hydee/internal/transport"
 	"hydee/internal/vtime"
 )
+
+// ErrNotSendDeterministic reports that a protocol observed an execution
+// inconsistent with the send-determinism assumption of §II-C: replayed
+// sends after a rollback did not match the pre-failure execution, so the
+// orphan accounting of the recovery round cannot balance. Protocols wrap
+// it so callers can match with errors.Is.
+var ErrNotSendDeterministic = errors.New("rollback: application is not send-deterministic")
 
 // Topology is the static process clustering.
 type Topology struct {

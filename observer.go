@@ -1,0 +1,42 @@
+package hydee
+
+import (
+	"io"
+
+	"hydee/internal/mpi"
+)
+
+// Run observation types. A run emits structured lifecycle events — one per
+// checkpoint, failure detection, recovery round boundary, rank completion
+// and run completion — to the Observer installed with WithObserver (or
+// Config.Observer on the legacy path).
+type (
+	// Observer receives lifecycle events; calls are serialized by the
+	// runtime but run on the critical path, so keep them fast.
+	Observer = mpi.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = mpi.ObserverFunc
+	// RunEvent is one structured lifecycle event.
+	RunEvent = mpi.Event
+	// RunEventKind discriminates lifecycle events.
+	RunEventKind = mpi.EventKind
+)
+
+// The lifecycle event kinds.
+const (
+	EvRunStart      = mpi.EvRunStart
+	EvCheckpoint    = mpi.EvCheckpoint
+	EvFailure       = mpi.EvFailure
+	EvRankFinished  = mpi.EvRankFinished
+	EvRecoveryStart = mpi.EvRecoveryStart
+	EvRecoveryEnd   = mpi.EvRecoveryEnd
+	EvRunComplete   = mpi.EvRunComplete
+	EvRunAbort      = mpi.EvRunAbort
+)
+
+// NewLogObserver renders lifecycle events as a human-readable debug log —
+// the successor of the removed Config.Log writer.
+func NewLogObserver(w io.Writer) Observer { return mpi.NewLogObserver(w) }
+
+// MultiObserver fans events out to several observers in order.
+func MultiObserver(obs ...Observer) Observer { return mpi.MultiObserver(obs...) }

@@ -1,0 +1,77 @@
+package hydee
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hydee/internal/harness"
+)
+
+// Name-based registries: the cmd binaries (and any embedding application)
+// select protocols and network models via flags instead of hard-coded
+// switches. Lookups are case-insensitive.
+
+var protocolRegistry = map[string]func() Protocol{
+	"hydee":  HydEE,
+	"coord":  Coordinated,
+	"mlog":   MessageLogging,
+	"native": Native,
+}
+
+var modelRegistry = map[string]func() Model{
+	"myrinet10g": func() Model { return Myrinet10G() },
+	"myrinet":    func() Model { return Myrinet10G() },
+	"tcpgige":    func() Model { return TCPGigE() },
+	"gige":       func() Model { return TCPGigE() },
+	"ideal":      func() Model { return IdealNetwork() },
+}
+
+// ProtocolByName returns a fresh instance of the named rollback-recovery
+// protocol: "hydee", "coord" (globally coordinated checkpointing), "mlog"
+// (full sender-based message logging) or "native" (no fault tolerance).
+func ProtocolByName(name string) (Protocol, error) {
+	mk, ok := protocolRegistry[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("hydee: unknown protocol %q (have %s)", name, strings.Join(ProtocolNames(), ", "))
+	}
+	return mk(), nil
+}
+
+// ProtocolNames lists the registered protocol names, sorted.
+func ProtocolNames() []string {
+	names := make([]string, 0, len(protocolRegistry))
+	for n := range protocolRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ModelByName returns a fresh instance of the named network cost model:
+// "myrinet10g" (the paper's testbed), "tcpgige" or "ideal". "myrinet" and
+// "gige" are accepted as shorthands.
+func ModelByName(name string) (Model, error) {
+	mk, ok := modelRegistry[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("hydee: unknown network model %q (have %s)", name, strings.Join(ModelNames(), ", "))
+	}
+	return mk(), nil
+}
+
+// ModelNames lists the registered model names, sorted (shorthands
+// included).
+func ModelNames() []string {
+	names := make([]string, 0, len(modelRegistry))
+	for n := range modelRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ExperimentProtoByName resolves a name to the harness protocol selector
+// used by ExperimentSpec ("native", "coord", "mlog", "hydee").
+func ExperimentProtoByName(name string) (ExperimentProto, error) {
+	return harness.ProtoByName(strings.ToLower(name))
+}
