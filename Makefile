@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt-check check
+.PHONY: all build test test-short race determinism vet fmt-check check
 
 all: check
 
@@ -15,6 +15,13 @@ test-short:
 
 race:
 	$(GO) test -race ./...
+
+# Determinism gate: run the experiment-facing determinism regressions twice
+# under the race detector — every makespan, recovery stat and sweep output
+# must be byte-identical run-to-run (see DESIGN.md "Concurrency and
+# determinism").
+determinism:
+	$(GO) test -race -count=2 -run 'Reproducible|ByteStable|SchedulingIndependent|AwaitTurn' ./internal/harness/ ./internal/transport/
 
 vet:
 	$(GO) vet ./...

@@ -226,7 +226,7 @@ func BenchmarkMicro_TransportSendRecv(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = n.Send(&transport.Msg{Src: 0, Dst: 1, Kind: transport.App, Data: payload})
-		if _, err := ep.Recv(); err != nil {
+		if _, err := ep.Recv(0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -20,6 +20,10 @@ var (
 	// ErrNotSendDeterministic reports an execution that violated the
 	// send-determinism assumption the protocol relies on.
 	ErrNotSendDeterministic = rollback.ErrNotSendDeterministic
+	// ErrCheckpointLost reports that a restart could not load a checkpoint
+	// the store had announced; the round aborts rather than silently
+	// diverging from the surviving processes.
+	ErrCheckpointLost = mpi.ErrCheckpointLost
 )
 
 // RunError is the typed error a run returns: rank, recovery round and

@@ -51,11 +51,16 @@ type Snapshot struct {
 	ModelBytes int64
 }
 
-// EncodedSize reports the actual encoded byte count of the snapshot.
+// EncodedSize reports the modeled encoded byte count of the snapshot. An
+// in-transit message is costed at its modeled wire size (payload plus
+// piggybacked protocol data) — Algorithm 1 line 21 includes in-transit
+// bytes in the checkpoint volume — plus a fixed envelope overhead;
+// len(m.Data) is only the (often much smaller) simulation payload and
+// would understate E5's storage-bandwidth traffic.
 func (s *Snapshot) EncodedSize() int64 {
 	n := int64(len(s.AppState) + len(s.ProtState))
 	for _, m := range s.Mailbox {
-		n += int64(len(m.Data)) + 64
+		n += int64(m.Wire()) + 64
 	}
 	return n
 }

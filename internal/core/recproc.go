@@ -2,9 +2,17 @@ package core
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 
 	"hydee/internal/rollback"
 )
+
+// sortedKeys returns the keys of an int-keyed map in ascending order, so
+// control fan-outs are emitted in a deterministic sequence.
+func sortedKeys[V any](m map[int]V) []int {
+	return slices.Sorted(maps.Keys(m))
+}
 
 // recovery is the per-round recovery process of Algorithm 4. It is launched
 // when a failure occurs, collects one report from every application
@@ -76,6 +84,11 @@ func (rp *recovery) Run(round rollback.RoundInfo) (rollback.RecoveryStats, error
 		}
 	}
 
+	// The release fan-out iterates maps; sends must not follow Go's random
+	// map order. Two notifications to the same destination would otherwise
+	// swap their channel positions between runs, and the destination's
+	// behaviour (when it resends logs vs when its program resumes sending)
+	// — and with it the makespan — would depend on the iteration order.
 	release := func() error {
 		minBlocked := int(^uint(0) >> 1) // max int
 		for ph, n := range nbOrphan {
@@ -100,17 +113,17 @@ func (rp *recovery) Run(round rollback.RoundInfo) (rollback.RecoveryStats, error
 			}
 			delete(logProcs, ph)
 		}
-		for proc, ph := range perProc {
-			rp.rx.SendCtl(proc, NotifySendLog{Round: round.Round, Phase: ph}, wireNotify)
+		for _, proc := range sortedKeys(perProc) {
+			rp.rx.SendCtl(proc, NotifySendLog{Round: round.Round, Phase: perProc[proc]}, wireNotify)
 			stats.CtlMsgs++
 		}
 		// NotifySendMsg: a process reported in phase p may send when no
 		// orphan of a phase strictly below p is outstanding (lines 21-23).
-		for ph, procs := range msgProcs {
+		for _, ph := range sortedKeys(msgProcs) {
 			if ph > minBlocked {
 				continue
 			}
-			for proc := range procs {
+			for _, proc := range sortedKeys(msgProcs[ph]) {
 				rp.rx.SendCtl(proc, NotifySendMsg{Round: round.Round, Phase: ph}, wireNotify)
 				stats.CtlMsgs++
 			}

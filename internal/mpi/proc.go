@@ -3,6 +3,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"hydee/internal/checkpoint"
@@ -17,6 +18,11 @@ import (
 // shutdownBody is the runtime-internal control message that ends lingering
 // process loops once the whole run has completed.
 type shutdownBody struct{}
+
+// shutdownSendVT stamps the end-of-run shutdown messages at the far virtual
+// future, so they sort after every real message still queued and a lingering
+// process drains its mailbox in virtual-time order before exiting.
+const shutdownSendVT = vtime.Time(math.MaxInt64 >> 1)
 
 // errShutdown reports a shutdown observed while a program was still
 // running; it indicates a runtime bug or a program that ignored errors.
@@ -134,7 +140,7 @@ func (p *Proc) collect() {
 // messages, and take part in recovery rounds of other clusters.
 func (p *Proc) linger() error {
 	for {
-		m, err := p.ep.Recv()
+		m, err := p.ep.Recv(p.clock.Now())
 		if err != nil {
 			return err
 		}
@@ -179,7 +185,7 @@ func (p *Proc) handle(m *transport.Msg) (bool, error) {
 // application traffic meanwhile.
 func (p *Proc) waitCtl(pred func() bool) error {
 	for !pred() {
-		m, err := p.ep.Recv()
+		m, err := p.ep.Recv(p.clock.Now())
 		if err != nil {
 			return err
 		}
@@ -286,7 +292,7 @@ func (p *Proc) recvMatch(src, tag int) (*transport.Msg, error) {
 				return m, nil
 			}
 		}
-		m, err := p.ep.Recv()
+		m, err := p.ep.Recv(p.clock.Now())
 		if err != nil {
 			return nil, err
 		}
@@ -354,11 +360,18 @@ func (p *Proc) checkpointCall() error {
 	if err != nil {
 		return err
 	}
+	// Stable-storage admission is ordered in virtual time: the write is
+	// issued only once no other live process can still act earlier, so the
+	// store's shared-bandwidth queue builds up in a deterministic order.
+	if err := p.rt.net.AwaitTurn(p.rank, p.clock.Now()); err != nil {
+		return err
+	}
 	endVT, err := p.rt.store.Save(snap, p.clock.Now())
 	if err != nil {
 		return err
 	}
 	p.clock.MergeAtLeast(endVT)
+	p.publish()
 	p.metrics.Checkpoints++
 	p.metrics.CkptBytes += snap.CostBytes()
 	p.ckptsDone++
@@ -421,12 +434,19 @@ func (p *Proc) capture(seq int, scope []int) (*checkpoint.Snapshot, error) {
 		}
 	}
 	for _, m := range snap.Mailbox {
-		snap.ModelBytes += int64(m.WireLen) + 64
+		// Modeled wire size (payload + piggybacked protocol data) plus an
+		// envelope constant, matching Snapshot.EncodedSize.
+		snap.ModelBytes += int64(m.Wire()) + 64
 	}
 	return snap, nil
 }
 
 func (p *Proc) cluster() int { return p.rt.topo.ClusterOf[p.rank] }
+
+// publish advances the process's send frontier to its clock, letting gated
+// receivers elsewhere stop waiting on a stale lower bound. Purely a
+// real-time liveness aid: frontiers never reorder deliveries.
+func (p *Proc) publish() { p.rt.net.Publish(p.rank, p.clock.Now()) }
 
 // --- rollback.Proc interface ---
 

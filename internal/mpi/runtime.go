@@ -96,8 +96,10 @@ func RunContext(ctx context.Context, cfg Config, program Program) (*Result, erro
 		rt.inj = failure.NewInjector(cfg.Failures)
 	}
 	// Pre-create the recovery endpoint so early control traffic to it is
-	// buffered rather than lost.
-	rt.net.Endpoint(cfg.NP)
+	// buffered rather than lost, and declare it as the latent failure
+	// source: the delivery gate then never admits a stamp a future
+	// recovery round could undercut.
+	rt.net.DeclareRecovery(cfg.NP)
 
 	rt.obs.emit(Event{Kind: EvRunStart, Rank: -1, Round: -1})
 	for r := 0; r < cfg.NP; r++ {
@@ -169,9 +171,10 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 	for finCount < np || cur != nil || len(pendingFails) > 0 {
 		select {
 		case ev := <-rt.evCh:
-			if !watchdog.Stop() {
-				<-watchdog.C
-			}
+			// Since Go 1.23, Reset on an active timer needs no stop-and-
+			// drain; the old `if !watchdog.Stop() { <-watchdog.C }` idiom
+			// can block forever here, because under the new semantics a
+			// fired-but-unread timer's channel is emptied by Stop itself.
 			watchdog.Reset(watchdogDur)
 			switch ev.kind {
 			case evFinished:
@@ -194,7 +197,12 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 				}
 				pendingFails = append(pendingFails, ev)
 				if cur == nil {
-					cur = rt.beginKill(pendingFails[0], finished, &finCount, deadEarly)
+					var err error
+					cur, err = rt.beginKill(pendingFails[0], finished, &finCount, deadEarly)
+					if err != nil {
+						rt.abort()
+						return err
+					}
 					pendingFails = pendingFails[1:]
 					roundsRun++
 					if roundsRun > rt.cfg.MaxRounds {
@@ -208,10 +216,17 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 				if cur != nil && cur.waitingDeath[ev.rank] {
 					delete(cur.waitingDeath, ev.rank)
 					if len(cur.waitingDeath) == 0 && !cur.recovering {
-						rt.launchRound(cur)
+						if err := rt.launchRound(cur); err != nil {
+							rt.abort()
+							return err
+						}
 					}
 				} else {
 					deadEarly[ev.rank] = true
+					// The goroutine is gone but its endpoint is not killed
+					// yet (the rank's round is queued behind the active
+					// one); stop the delivery gate from waiting on it.
+					rt.net.Quiesce(ev.rank)
 				}
 
 			case evRecoveryDone:
@@ -225,7 +240,12 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 				rt.mu.Unlock()
 				cur = nil
 				if len(pendingFails) > 0 {
-					cur = rt.beginKill(pendingFails[0], finished, &finCount, deadEarly)
+					var err error
+					cur, err = rt.beginKill(pendingFails[0], finished, &finCount, deadEarly)
+					if err != nil {
+						rt.abort()
+						return err
+					}
 					pendingFails = pendingFails[1:]
 					roundsRun++
 					if roundsRun > rt.cfg.MaxRounds {
@@ -241,16 +261,22 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 			return runErr(-1, curRound(), PhaseSupervise, fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx)))
 
 		case <-watchdog.C:
+			plane := rt.net.DebugState()
 			rt.abort()
 			return runErr(-1, curRound(), PhaseSupervise,
-				fmt.Errorf("%w: no supervisor event for %v (deadlock or overlapping failures; %d/%d finished, round active: %v)",
-					ErrDeadlock, watchdogDur, finCount, np, cur != nil))
+				fmt.Errorf("%w: no supervisor event for %v (deadlock or overlapping failures; %d/%d finished, round active: %v)\ndelivery plane:\n%s",
+					ErrDeadlock, watchdogDur, finCount, np, cur != nil, plane))
 		}
 	}
 
-	// Shut lingering processes down.
+	// Shut lingering processes down. The shutdown is stamped at the far
+	// future so it sorts after every real message still queued: a lingering
+	// process drains its remaining control traffic (whose clock merges are
+	// part of the makespan) in virtual-time order before it exits, instead
+	// of racing the supervisor's send in real time.
 	for r := 0; r < np; r++ {
-		m := &transport.Msg{Src: -1, Dst: r, Kind: transport.Ctl, CtlBody: shutdownBody{}, WireLen: 1}
+		m := &transport.Msg{Src: -1, Dst: r, Kind: transport.Ctl, CtlBody: shutdownBody{},
+			WireLen: 1, SendVT: shutdownSendVT}
 		_ = rt.net.Send(m)
 	}
 	return nil
@@ -259,7 +285,7 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 // beginKill starts a failure round: computes the restart scope, kills every
 // scope member, and waits (via evDied events) for their goroutines to
 // unwind before restarting them.
-func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadEarly map[int]bool) *roundState {
+func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadEarly map[int]bool) (*roundState, error) {
 	scope := rt.prot.RestartScope(rt.topo, ev.ranks)
 	info := rollback.RoundInfo{
 		Round:          rt.roundSeq,
@@ -269,6 +295,13 @@ func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadE
 	}
 	rt.roundSeq++
 	rt.obs.emit(Event{Kind: EvRecoveryStart, Rank: -1, Round: info.Round, Ranks: info.RolledBack, VT: ev.vt})
+	// Attach the recovery endpoint before the first kill: from the moment
+	// the scope's frontiers stop constraining the delivery gate, the
+	// recovery actor's must, or survivors could deliver post-detection
+	// stamps the recovery round has yet to undercut. AttachAt (not
+	// Publish) because this round's detection time may precede the virtual
+	// time the previous round's recovery finished at.
+	rt.net.AttachAt(rt.cfg.NP, info.DetectVT)
 	rs := &roundState{info: info, waitingDeath: make(map[int]bool, len(scope))}
 	for _, r := range scope {
 		rs.waitingDeath[r] = true
@@ -287,9 +320,11 @@ func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadE
 	}
 	rs.info.AllIncs = rt.net.Incs()
 	if len(rs.waitingDeath) == 0 {
-		rt.launchRound(rs)
+		if err := rt.launchRound(rs); err != nil {
+			return nil, err
+		}
 	}
-	return rs
+	return rs, nil
 }
 
 // launchRound revives and restarts the rolled-back processes from their
@@ -298,13 +333,12 @@ func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadE
 // A failure can land while part of a cluster has completed checkpoint N and
 // the rest is still writing it, so each cluster restores from the minimum
 // sequence completed by all of its members (0 = restart from the initial
-// state).
-func (rt *Runtime) launchRound(rs *roundState) {
+// state). A sequence the store announced via LatestSeq but cannot load
+// aborts the round with ErrCheckpointLost: restarting that rank from its
+// initial state instead would silently diverge from the survivors.
+func (rt *Runtime) launchRound(rs *roundState) error {
 	rs.recovering = true
 	info := rs.info
-	for _, r := range info.RolledBack {
-		rt.net.Restart(r)
-	}
 	restoreSeq := make(map[int]int) // cluster -> min completed seq
 	for _, r := range info.RolledBack {
 		c := rt.topo.ClusterOf[r]
@@ -313,34 +347,49 @@ func (rt *Runtime) launchRound(rs *roundState) {
 			restoreSeq[c] = seq
 		}
 	}
-	for _, r := range info.RolledBack {
+	snaps := make([]*checkpoint.Snapshot, len(info.RolledBack))
+	starts := make([]vtime.Time, len(info.RolledBack))
+	for i, r := range info.RolledBack {
 		seq := restoreSeq[rt.topo.ClusterOf[r]]
-		var snap *checkpoint.Snapshot
-		endVT := info.DetectVT
+		starts[i] = info.DetectVT
 		if seq > 0 {
-			var ok bool
-			snap, endVT, ok = rt.store.Load(r, seq, info.DetectVT)
+			snap, endVT, ok := rt.store.Load(r, seq, info.DetectVT)
 			if !ok {
-				snap, endVT = nil, info.DetectVT
+				return runErr(r, info.Round, PhaseRecovery,
+					fmt.Errorf("restore rank %d from checkpoint seq %d: %w", r, seq, ErrCheckpointLost))
 			}
+			snaps[i], starts[i] = snap, endVT
 		}
-		rt.startProc(r, snap, &info, endVT)
+	}
+	// Revive every endpoint before any restarted process runs, so no
+	// OnRestore traffic is dropped at a still-dead sibling. The revived
+	// frontier is the rank's resume time: its replays cannot predate it.
+	for i, r := range info.RolledBack {
+		rt.net.RestartAt(r, starts[i])
+	}
+	for i, r := range info.RolledBack {
+		rt.startProc(r, snaps[i], &info, starts[i])
 	}
 	rx := &recCtx{rt: rt, ep: rt.net.Endpoint(rt.cfg.NP), now: info.DetectVT}
 	rec := rt.prot.NewRecovery(rx)
 	if rec == nil {
+		rt.net.Quiesce(rt.cfg.NP)
 		rt.event(procEvent{kind: evRecoveryDone, stats: rollback.RecoveryStats{
 			Round: info.Round, RolledBack: len(info.RolledBack),
 			StartVT: info.DetectVT, EndVT: info.DetectVT,
 		}})
-		return
+		return nil
 	}
 	rt.wg.Add(1)
 	go func() {
 		defer rt.wg.Done()
 		stats, err := rec.Run(info)
+		// Detach: between rounds the recovery endpoint buffers but is known
+		// not to send, so the delivery gate stops waiting on it.
+		rt.net.Quiesce(rt.cfg.NP)
 		rt.event(procEvent{kind: evRecoveryDone, stats: stats, err: err})
 	}()
+	return nil
 }
 
 // abort tears everything down after a fatal error.
@@ -393,7 +442,7 @@ func (r *recCtx) Topo() *rollback.Topology { return r.rt.topo }
 
 // Recv implements rollback.RecoveryContext.
 func (r *recCtx) Recv() (*transport.Msg, error) {
-	m, err := r.ep.Recv()
+	m, err := r.ep.Recv(r.now)
 	if err != nil {
 		return nil, err
 	}

@@ -1,5 +1,6 @@
 // Package transport implements the reliable FIFO message substrate the
-// HydEE protocol stack runs on.
+// HydEE protocol stack runs on — with a deterministic virtual-time delivery
+// plane.
 //
 // The system model of the paper (§II-A) assumes a set of processes connected
 // by reliable FIFO channels with no synchrony assumption, and fail-stop
@@ -7,8 +8,43 @@
 // unbounded mailbox; Network.Send enqueues a message into the destination
 // mailbox immediately (asynchronous, eager buffering — sends never block)
 // and stamps it with a virtual arrival time computed by the network cost
-// model. Per-(src,dst) FIFO order follows from each sender being a single
-// goroutine and enqueueing under the destination mailbox lock.
+// model.
+//
+// # Deterministic delivery
+//
+// An endpoint's mailbox is a priority queue ordered by the total delivery
+// key (ArriveVT, Src, channel sequence). Per-(src,dst) FIFO is preserved by
+// clamping each message's arrival time to be no earlier than its channel
+// predecessor's (a FIFO channel admits no overtaking), which makes arrival
+// times monotone per channel and the key order FIFO-consistent.
+//
+// Recv does not hand out the earliest queued message immediately: it gates
+// delivery until no in-flight sender can still produce an earlier key. The
+// network tracks a conservative action bound per source — a lower bound on
+// the virtual time of the source's next send or checkpoint write — and a
+// message is deliverable only once every other live source's earliest
+// possible arrival (its bound plus the minimum latency) sorts after the
+// message's key. Bounds advance when sources send (to their SendVT), when
+// they block in Recv (a blocked source can only send after it delivers
+// something itself, so its bound rises transitively), and when the
+// supervisor attaches, quiesces, kills or restarts them (Publish, Quiesce,
+// Kill, RestartAt). The chosen message is therefore a pure function of
+// virtual time, independent of goroutine scheduling: gating can delay a
+// delivery in real time, never reorder it.
+//
+// Because any source can send to any destination, the transitive bound has
+// a closed form: with m1 the smallest "self cap" over all sources (a
+// running source's frontier; a blocked source's max(frontier, queue head)),
+// a blocked source's bound is max(frontier, min(queueHead, m1+minLat)), and
+// the cap-minimal source's bound is exactly its cap. One O(sources) refresh
+// after each plane mutation recomputes every bound and wakes exactly the
+// waiters whose condition now holds — no broadcast herds, and no hand-made
+// wake-up edges to get wrong.
+//
+// Progress requires strictly positive lookahead, so the network enforces a
+// minimum virtual latency of 1ns per hop (zero-cost models otherwise admit
+// cycles of processes none of which can be proven unable to produce an
+// earlier stamp).
 //
 // Failures: Kill marks the endpoint dead, wipes its mailbox, unblocks any
 // blocked receiver with ErrKilled and bumps the process's incarnation
@@ -17,8 +53,10 @@
 package transport
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"hydee/internal/netmodel"
@@ -94,112 +132,218 @@ type Msg struct {
 	// CtlBody carries a typed protocol control structure for Kind == Ctl.
 	CtlBody any
 	// SendVT and ArriveVT are the virtual send and earliest-delivery times.
+	// ArriveVT is clamped so it is monotone per (src,dst) channel.
 	SendVT, ArriveVT vtime.Time
+
+	// chSeq is the message's position on its (src,dst) channel, the final
+	// tiebreak of the delivery key. It is assigned under the delivery-plane
+	// lock at enqueue, so it is deterministic per channel (each sender is a
+	// single goroutine).
+	chSeq uint64
 }
 
 // Wire returns the modeled number of bytes this message occupies on the wire.
 func (m *Msg) Wire() int { return m.WireLen + m.PiggyLen }
 
+// keyLess orders messages by the total delivery key (ArriveVT, Src, chSeq).
+func keyLess(a, b *Msg) bool {
+	if a.ArriveVT != b.ArriveVT {
+		return a.ArriveVT < b.ArriveVT
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.chSeq < b.chSeq
+}
+
 // ErrKilled is returned by receive operations on a killed endpoint.
 var ErrKilled = errors.New("transport: process killed")
 
-// Endpoint is the per-process mailbox.
+// infTime is the "can never act again" bound.
+const infTime = vtime.Time(math.MaxInt64)
+
+// srcState classifies what a source may still do, for the delivery gate.
+type srcState uint8
+
+const (
+	// stRunning: an actor is attached and executing; it may send at any
+	// virtual time >= its frontier.
+	stRunning srcState = iota
+	// stBlocked: the actor is blocked in Recv at clock == frontier; it can
+	// only send after it delivers a message itself.
+	stBlocked
+	// stIdle: no actor is attached (service endpoint between recovery
+	// rounds, reaped process); it cannot send until reattached.
+	stIdle
+	// stDead: killed; it cannot send until restarted, and a restart resumes
+	// no earlier than the stale frontier.
+	stDead
+)
+
+// waitKind says what an endpoint's goroutine is parked on, so the refresh
+// can signal exactly the waiters whose condition now holds.
+type waitKind uint8
+
+const (
+	wNone waitKind = iota
+	wRecv
+	wTurn
+)
+
+// msgHeap is a min-heap of messages by delivery key.
+type msgHeap []*Msg
+
+func (h msgHeap) Len() int           { return len(h) }
+func (h msgHeap) Less(i, j int) bool { return keyLess(h[i], h[j]) }
+func (h msgHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)        { *h = append(*h, x.(*Msg)) }
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return m
+}
+
+// Endpoint is the per-process mailbox. All mutable state is guarded by the
+// owning Network's delivery-plane lock.
 type Endpoint struct {
-	id   int
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    []*Msg
+	id int
+	n  *Network
+
+	q    msgHeap
 	dead bool
 	// droppedWhileDead counts arrivals discarded because the process was
 	// dead; exposed for tests and metrics.
 	droppedWhileDead int
+
+	state    srcState
+	frontier vtime.Time
+	// bound is the action bound computed by the last refresh: no send or
+	// checkpoint write by this source can be issued before it.
+	bound vtime.Time
+
+	// cond parks this endpoint's goroutine (shared delivery-plane lock);
+	// waiting/turnVT describe what it waits for.
+	cond    *sync.Cond
+	waiting waitKind
+	turnVT  vtime.Time
+
+	// chArrive / chSeq track, per source, the last clamped arrival time and
+	// the channel sequence counter (FIFO-consistency of the key order).
+	chArrive map[int]vtime.Time
+	chSeq    map[int]uint64
 }
 
-func newEndpoint(id int) *Endpoint {
-	e := &Endpoint{id: id}
-	e.cond = sync.NewCond(&e.mu)
+func newEndpoint(n *Network, id int, state srcState) *Endpoint {
+	e := &Endpoint{
+		id:       id,
+		n:        n,
+		state:    state,
+		chArrive: make(map[int]vtime.Time),
+		chSeq:    make(map[int]uint64),
+	}
+	e.cond = sync.NewCond(&n.dmu)
 	return e
 }
 
 // ID reports the endpoint's identifier.
 func (e *Endpoint) ID() int { return e.id }
 
-// Recv blocks until a message is available and returns it in arrival order.
-// It returns ErrKilled if the endpoint is (or becomes) dead.
-func (e *Endpoint) Recv() (*Msg, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// Recv blocks until the earliest message in virtual-time key order is
+// deliverable — i.e. no in-flight sender can still produce an earlier stamp
+// — and returns it. now is the caller's current virtual clock; while blocked
+// the endpoint's send frontier is pinned there, since the caller cannot
+// send before it delivers. It returns ErrKilled if the endpoint is (or
+// becomes) dead.
+func (e *Endpoint) Recv(now vtime.Time) (*Msg, error) {
+	n := e.n
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
+	if e.dead {
+		return nil, ErrKilled
+	}
+	// Commit to the blocked state BEFORE evaluating the gate: the caller
+	// cannot send until this Recv returns, and the transitive bounds must
+	// reflect that — evaluating while still marked running would let the
+	// receiver's own stale frontier hold the plane's bounds below its
+	// head's stamp and fail a check its own blocking satisfies.
+	changed := e.state != stBlocked
+	e.state = stBlocked
+	if e.frontier < now {
+		e.frontier = now
+		changed = true
+	}
+	if changed {
+		n.refreshLocked()
+	}
 	for {
 		if e.dead {
 			return nil, ErrKilled
 		}
-		if len(e.q) > 0 {
-			m := e.q[0]
-			e.q = e.q[1:]
+		if len(e.q) > 0 && n.gatePassLocked(e, e.q[0]) {
+			m := heap.Pop(&e.q).(*Msg)
+			e.delivered(m, now)
 			return m, nil
 		}
+		e.waiting = wRecv
 		e.cond.Wait()
+		e.waiting = wNone
 	}
 }
 
-// TryRecv returns the next message without blocking. ok reports whether a
-// message was available.
-func (e *Endpoint) TryRecv() (m *Msg, ok bool, err error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// delivered records the state transition of a successful pop: the receiver
+// runs again, and — for Ctl and Marker messages, which merge the receiver's
+// clock to the arrival stamp before it can act — its frontier advances to
+// the delivered stamp. App deliveries guarantee only the clock the receiver
+// blocked with (a non-matching message is buffered without a merge).
+func (e *Endpoint) delivered(m *Msg, now vtime.Time) {
+	e.state = stRunning
+	f := now
+	if m.Kind != App && m.ArriveVT > f {
+		f = m.ArriveVT
+	}
+	if f > e.frontier {
+		e.frontier = f
+	}
+	e.n.refreshLocked()
+}
+
+// TryRecv returns the earliest deliverable message without blocking. ok
+// reports whether one was available (queued and not gated).
+func (e *Endpoint) TryRecv(now vtime.Time) (m *Msg, ok bool, err error) {
+	n := e.n
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
 	if e.dead {
 		return nil, false, ErrKilled
 	}
-	if len(e.q) == 0 {
+	if e.frontier < now {
+		e.frontier = now
+		n.refreshLocked()
+	}
+	if len(e.q) == 0 || !n.gatePassLocked(e, e.q[0]) {
 		return nil, false, nil
 	}
-	m = e.q[0]
-	e.q = e.q[1:]
+	m = heap.Pop(&e.q).(*Msg)
+	e.delivered(m, now)
 	return m, true, nil
 }
 
 // Pending reports the number of queued messages (diagnostics only).
 func (e *Endpoint) Pending() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.n.dmu.Lock()
+	defer e.n.dmu.Unlock()
 	return len(e.q)
 }
 
 // DroppedWhileDead reports how many arrivals were discarded while the
 // endpoint was dead.
 func (e *Endpoint) DroppedWhileDead() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.n.dmu.Lock()
+	defer e.n.dmu.Unlock()
 	return e.droppedWhileDead
-}
-
-func (e *Endpoint) enqueue(m *Msg) {
-	e.mu.Lock()
-	if e.dead {
-		e.droppedWhileDead++
-		e.mu.Unlock()
-		return
-	}
-	e.q = append(e.q, m)
-	e.mu.Unlock()
-	e.cond.Signal()
-}
-
-// kill wipes the queue and unblocks receivers.
-func (e *Endpoint) kill() {
-	e.mu.Lock()
-	e.dead = true
-	e.q = nil
-	e.mu.Unlock()
-	e.cond.Broadcast()
-}
-
-// revive clears the dead flag; the queue starts empty.
-func (e *Endpoint) revive() {
-	e.mu.Lock()
-	e.dead = false
-	e.q = nil
-	e.mu.Unlock()
 }
 
 // PairStat accumulates traffic accounting for one ordered process pair.
@@ -209,29 +353,69 @@ type PairStat struct {
 	PiggyBytes int64 // modeled inline protocol bytes
 }
 
-// Network connects the endpoints and applies the cost model.
-type Network struct {
-	model netmodel.Model
-
-	mu    sync.RWMutex
-	eps   map[int]*Endpoint
-	inc   []int32 // incarnation per application rank
-	np    int
-	stats []PairStat // np*np matrix, App traffic between application ranks
+// boundRef is one (action bound, source id) pair, ordered lexicographically.
+type boundRef struct {
+	b  vtime.Time
+	id int
 }
 
-// NewNetwork creates a network with application endpoints 0..np-1.
+func (r boundRef) less(s boundRef) bool {
+	return r.b < s.b || (r.b == s.b && r.id < s.id)
+}
+
+// Network connects the endpoints and applies the cost model. It owns the
+// deterministic delivery plane: one lock guards every mailbox and the
+// per-source bounds; refreshLocked recomputes the bounds after every
+// mutation and signals exactly the waiters whose condition now holds.
+type Network struct {
+	model netmodel.Model
+	// minLat is the smallest latency any message can observe (>= 1ns),
+	// the lookahead of the conservative delivery gate.
+	minLat vtime.Duration
+
+	dmu sync.Mutex
+	eps map[int]*Endpoint
+	// epList caches the endpoints for the refresh scan (append-only).
+	epList []*Endpoint
+	// low3 holds the three lexicographically smallest finite (bound, id)
+	// pairs from the last refresh: any gate's relevant minimum — which
+	// excludes at most the receiver and the head's source — is among them.
+	low3 [3]boundRef
+	// latentID designates the recovery endpoint as a latent source: while
+	// it is idle, its bound is the plane's minimum cap rather than
+	// infinity. A failure detected at a victim's clock c spawns recovery
+	// stamps at >= c + minLat, and c is always >= the victim's cap at
+	// every earlier pop — so the latent bound makes the plane anticipate a
+	// potential recovery round and never admit a stamp a future round
+	// could undercut. -1 when unset (raw transport use).
+	latentID int
+	inc      []int32 // incarnation per application rank
+	np       int
+	stats    []PairStat // np*np matrix, App traffic between application ranks
+}
+
+// NewNetwork creates a network with application endpoints 0..np-1, all
+// running with a zero send frontier.
 func NewNetwork(np int, model netmodel.Model) *Network {
+	lat := model.Latency(0)
+	if lat < 1 {
+		lat = 1
+	}
 	n := &Network{
-		model: model,
-		eps:   make(map[int]*Endpoint, np+2),
-		inc:   make([]int32, np),
-		np:    np,
-		stats: make([]PairStat, np*np),
+		model:    model,
+		minLat:   lat,
+		eps:      make(map[int]*Endpoint, np+2),
+		latentID: -1,
+		inc:      make([]int32, np),
+		np:       np,
+		stats:    make([]PairStat, np*np),
 	}
 	for i := 0; i < np; i++ {
-		n.eps[i] = newEndpoint(i)
+		e := newEndpoint(n, i, stRunning)
+		n.eps[i] = e
+		n.epList = append(n.epList, e)
 	}
+	n.refreshLocked()
 	return n
 }
 
@@ -242,22 +426,43 @@ func (n *Network) NP() int { return n.np }
 func (n *Network) Model() netmodel.Model { return n.model }
 
 // Endpoint returns the endpoint with the given id, creating it if it is a
-// non-application (service) id such as the recovery process.
+// non-application (service) id such as the recovery process. Service
+// endpoints start idle: they buffer arrivals but are known not to send
+// until attached with Publish.
 func (n *Network) Endpoint(id int) *Endpoint {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
+	return n.endpointLocked(id)
+}
+
+func (n *Network) endpointLocked(id int) *Endpoint {
 	e, ok := n.eps[id]
 	if !ok {
-		e = newEndpoint(id)
+		e = newEndpoint(n, id, stIdle)
+		e.bound = infTime
 		n.eps[id] = e
+		n.epList = append(n.epList, e)
 	}
 	return e
 }
 
+// DeclareRecovery registers id as the latent recovery source: even while no
+// recovery round is active, the delivery gate assumes a failure could be
+// detected at the plane's minimum cap and stamps from id could follow. The
+// runtime calls it once at startup for the recovery endpoint, before any
+// traffic flows.
+func (n *Network) DeclareRecovery(id int) {
+	n.dmu.Lock()
+	n.latentID = id
+	n.endpointLocked(id)
+	n.refreshLocked()
+	n.dmu.Unlock()
+}
+
 // Incs returns a copy of the current incarnation of every application rank.
 func (n *Network) Incs() []int32 {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
 	return append([]int32(nil), n.inc...)
 }
 
@@ -267,51 +472,277 @@ func (n *Network) IncOf(rank int) int32 {
 	if rank < 0 || rank >= n.np {
 		return 0
 	}
-	n.mu.RLock()
-	defer n.mu.RUnlock()
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
 	return n.inc[rank]
 }
 
 // Send stamps and enqueues m. The caller must have set Src, Dst and advanced
 // its clock past the send overhead; SendVT is the sender's clock after that.
-// WireLen defaults to len(Data).
+// WireLen defaults to len(Data). Sending also publishes the sender's
+// frontier: its next send cannot predate this one.
 func (n *Network) Send(m *Msg) error {
 	if m.WireLen == 0 {
 		m.WireLen = len(m.Data)
 	}
-	n.mu.RLock()
+	lat := n.model.Latency(m.Wire())
+	if lat < n.minLat {
+		lat = n.minLat
+	}
+
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
 	dst, ok := n.eps[m.Dst]
 	if !ok {
-		n.mu.RUnlock()
 		return fmt.Errorf("transport: send to unknown endpoint %d", m.Dst)
 	}
 	if m.Src >= 0 && m.Src < n.np {
 		m.Inc = n.inc[m.Src]
 	}
-	n.mu.RUnlock()
-
-	m.ArriveVT = m.SendVT.Add(n.model.Latency(m.Wire()))
-	if m.Kind == App && m.Src >= 0 && m.Src < n.np && m.Dst >= 0 && m.Dst < n.np {
-		n.account(m)
+	// The sender cannot send again before this message's send time; a
+	// source that demonstrably sends is live, so an idle one is promoted.
+	if src, ok := n.eps[m.Src]; ok && src.state != stDead {
+		if m.SendVT > src.frontier {
+			src.frontier = m.SendVT
+		}
+		if src.state == stIdle {
+			src.state = stRunning
+		}
 	}
-	dst.enqueue(m)
+
+	m.ArriveVT = m.SendVT.Add(lat)
+	if m.Kind == App && m.Src >= 0 && m.Src < n.np && m.Dst >= 0 && m.Dst < n.np {
+		s := &n.stats[m.Src*n.np+m.Dst]
+		s.Msgs++
+		s.Bytes += int64(m.WireLen)
+		s.PiggyBytes += int64(m.PiggyLen)
+	}
+	if dst.dead {
+		dst.droppedWhileDead++
+		n.refreshLocked() // the sender's frontier still advanced
+		return nil
+	}
+	// FIFO channels admit no overtaking: clamp the arrival to the channel
+	// predecessor's, making arrival times monotone per (src,dst) and the
+	// delivery key order FIFO-consistent.
+	if last := dst.chArrive[m.Src]; m.ArriveVT < last {
+		m.ArriveVT = last
+	}
+	dst.chArrive[m.Src] = m.ArriveVT
+	dst.chSeq[m.Src]++
+	m.chSeq = dst.chSeq[m.Src]
+	heap.Push(&dst.q, m)
+	n.refreshLocked()
 	return nil
 }
 
-func (n *Network) account(m *Msg) {
-	idx := m.Src*n.np + m.Dst
-	n.mu.Lock()
-	s := &n.stats[idx]
-	s.Msgs++
-	s.Bytes += int64(m.WireLen)
-	s.PiggyBytes += int64(m.PiggyLen)
-	n.mu.Unlock()
+// Publish raises id's send frontier to vt and marks it running. Actors call
+// it when their clock advances without a transport operation (local compute,
+// checkpoint I/O) and the supervisor calls it to attach a service actor; a
+// stale frontier never reorders deliveries, it only delays them in real
+// time.
+func (n *Network) Publish(id int, vt vtime.Time) {
+	n.dmu.Lock()
+	e := n.endpointLocked(id)
+	if e.state != stDead && (e.state != stRunning || vt > e.frontier) {
+		e.state = stRunning
+		if vt > e.frontier {
+			e.frontier = vt
+		}
+		n.refreshLocked()
+	}
+	n.dmu.Unlock()
+}
+
+// Quiesce marks id as unable to send until reattached (Publish, Restart):
+// its queue keeps buffering, but the delivery gate stops waiting on it. The
+// supervisor quiesces the recovery endpoint between rounds and process
+// endpoints whose goroutine has exited.
+func (n *Network) Quiesce(id int) {
+	n.dmu.Lock()
+	e := n.endpointLocked(id)
+	if e.state != stDead && e.state != stIdle {
+		e.state = stIdle
+		n.refreshLocked()
+	}
+	n.dmu.Unlock()
+}
+
+// AwaitTurn blocks until no other live source can still act (send or issue
+// a checkpoint write) at a virtual time before (vt, id), pinning id's own
+// frontier at vt meanwhile. The checkpoint runtime brackets stable-storage
+// writes with it so shared-bandwidth contention resolves in virtual-time
+// order, not real-time race order.
+func (n *Network) AwaitTurn(id int, vt vtime.Time) error {
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
+	e := n.endpointLocked(id)
+	e.turnVT = vt
+	for {
+		if e.dead {
+			return ErrKilled
+		}
+		if e.state != stRunning || e.frontier < vt {
+			e.state = stRunning
+			if vt > e.frontier {
+				e.frontier = vt
+			}
+			n.refreshLocked()
+		}
+		if n.turnPassLocked(e, vt) {
+			return nil
+		}
+		e.waiting = wTurn
+		e.cond.Wait()
+		e.waiting = wNone
+	}
+}
+
+// refreshLocked recomputes every source's action bound and signals the
+// waiters whose condition now holds. It must be called at the end of every
+// delivery-plane mutation; the bounds are therefore always current when a
+// gate is evaluated.
+//
+// Closed form of the transitive bound (any source can send to any
+// destination): let cap(e) be max(frontier, queue head) for a blocked
+// source (inf with an empty queue), the frontier for a running or dead one
+// and inf for an idle one, and let m1 be the smallest cap. The cap-minimal
+// source's bound is exactly its cap (its head precedes anything others can
+// still produce), and every other blocked source's bound is
+// max(frontier, min(queueHead, m1+minLat)): it can only act after
+// delivering something, which arrives no earlier than min of its own head
+// and the earliest stamp the rest of the plane can still emit.
+func (n *Network) refreshLocked() {
+	// Pass 1: caps and their two smallest values.
+	m1, m2 := infTime, infTime
+	var a1 *Endpoint
+	for _, e := range n.epList {
+		cap := infTime
+		switch e.state {
+		case stRunning, stDead:
+			cap = e.frontier
+		case stBlocked:
+			if len(e.q) > 0 {
+				cap = e.frontier
+				if h := e.q[0].ArriveVT; h > cap {
+					cap = h
+				}
+			}
+		}
+		e.bound = cap // provisional; blocked non-minimal sources improve below
+		if cap < m1 {
+			m2, m1, a1 = m1, cap, e
+		} else if cap < m2 {
+			m2 = cap
+		}
+	}
+	// Pass 2: blocked sources other than the unique cap-argmin are bounded
+	// by the earliest arrival the rest of the plane can still emit, and the
+	// idle latent recovery source by the earliest virtual time a failure
+	// could still be detected at (the minimum cap).
+	low := [3]boundRef{{infTime, -1}, {infTime, -1}, {infTime, -1}}
+	for _, e := range n.epList {
+		if e.state == stBlocked && e != a1 && m1 < infTime {
+			b := m1.Add(n.minLat)
+			if len(e.q) > 0 && e.q[0].ArriveVT < b {
+				b = e.q[0].ArriveVT
+			}
+			if e.frontier > b {
+				b = e.frontier
+			}
+			e.bound = b
+		} else if e.state == stIdle && e.id == n.latentID {
+			e.bound = m1
+		}
+		if e.bound < infTime {
+			r := boundRef{e.bound, e.id}
+			switch {
+			case r.less(low[0]):
+				low[0], low[1], low[2] = r, low[0], low[1]
+			case r.less(low[1]):
+				low[1], low[2] = r, low[1]
+			case r.less(low[2]):
+				low[2] = r
+			}
+		}
+	}
+	n.low3 = low
+	// Pass 3: wake exactly the waiters whose condition now holds.
+	for _, e := range n.epList {
+		switch e.waiting {
+		case wRecv:
+			if e.dead || (len(e.q) > 0 && n.gatePassLocked(e, e.q[0])) {
+				e.cond.Signal()
+			}
+		case wTurn:
+			if e.dead || n.turnPassLocked(e, e.turnVT) {
+				e.cond.Signal()
+			}
+		}
+	}
+}
+
+// gatePassLocked reports whether m — the minimum-key message queued at dst
+// — can be delivered now: no other live source can still produce a message
+// that sorts before it. Messages from m's own source are FIFO-clamped
+// behind it, and dst itself cannot send while it is receiving. The relevant
+// constraint is the lexicographic minimum of (bound, id) over all sources
+// except those two, which is among the plane's three smallest.
+func (n *Network) gatePassLocked(dst *Endpoint, m *Msg) bool {
+	for _, r := range n.low3 {
+		if r.b == infTime {
+			return true
+		}
+		if r.id == dst.id || r.id == m.Src {
+			continue
+		}
+		// The source's next message arrives no earlier than r.b + minLat,
+		// with source tiebreak r.id.
+		a := r.b.Add(n.minLat)
+		return a > m.ArriveVT || (a == m.ArriveVT && r.id > m.Src)
+	}
+	return true
+}
+
+// turnPassLocked reports whether e holds the (vt, id) action turn: every
+// other live source's bound sorts strictly after it.
+func (n *Network) turnPassLocked(e *Endpoint, vt vtime.Time) bool {
+	for _, r := range n.low3 {
+		if r.b == infTime {
+			return true
+		}
+		if r.id == e.id {
+			continue
+		}
+		return r.b > vt || (r.b == vt && r.id > e.id)
+	}
+	return true
+}
+
+// DebugState renders the delivery plane (states, frontiers, bounds, queue
+// heads) for deadlock diagnostics; the runtime includes it in watchdog
+// errors.
+func (n *Network) DebugState() string {
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
+	var b []byte
+	names := [...]string{"running", "blocked", "idle", "dead"}
+	for _, e := range n.epList {
+		head := "-"
+		if len(e.q) > 0 {
+			m := e.q[0]
+			head = fmt.Sprintf("%s src=%d avt=%d deliverable=%v", m.Kind, m.Src, m.ArriveVT, n.gatePassLocked(e, m))
+		}
+		b = fmt.Appendf(b, "  ep %d: %s frontier=%d bound=%d qlen=%d head={%s}\n",
+			e.id, names[e.state], e.frontier, e.bound, len(e.q), head)
+	}
+	return string(b)
 }
 
 // Stats returns a copy of the pair-traffic matrix (np*np, row = src).
 func (n *Network) Stats() []PairStat {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
 	out := make([]PairStat, len(n.stats))
 	copy(out, n.stats)
 	return out
@@ -319,14 +750,18 @@ func (n *Network) Stats() []PairStat {
 
 // PairStatAt returns accounting for the ordered pair (src, dst).
 func (n *Network) PairStatAt(src, dst int) PairStat {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
 	return n.stats[src*n.np+dst]
 }
 
 // Kill marks rank dead: bumps its incarnation, wipes its mailbox and wakes
 // any blocked receiver with ErrKilled. It returns the incarnation the
-// process will restart with.
+// process will restart with. A dead source keeps constraining the delivery
+// gate at its stale frontier: it can only come back via RestartAt, at or
+// after that point (the runtime resumes it from a checkpoint read no
+// earlier than the failure's detection time), so the plane never admits a
+// stamp its restart could undercut.
 //
 // Messages the dead incarnation had already enqueued at other processes are
 // deliberately left in place: a message sent before the victim's checkpoint
@@ -334,31 +769,68 @@ func (n *Network) PairStatAt(src, dst int) PairStat {
 // handled by the protocol's orphan machinery exactly as if it had been
 // delivered just before the failure.
 func (n *Network) Kill(rank int) int32 {
-	n.mu.Lock()
+	n.dmu.Lock()
 	n.inc[rank]++
 	newInc := n.inc[rank]
-	victim := n.eps[rank]
-	n.mu.Unlock()
-
-	victim.kill()
+	n.killLocked(n.eps[rank])
+	n.dmu.Unlock()
 	return newInc
 }
 
 // KillService kills a non-application endpoint (e.g. the recovery process)
 // without touching incarnation bookkeeping.
 func (n *Network) KillService(id int) {
-	n.mu.RLock()
-	e, ok := n.eps[id]
-	n.mu.RUnlock()
-	if ok {
-		e.kill()
+	n.dmu.Lock()
+	if e, ok := n.eps[id]; ok {
+		n.killLocked(e)
 	}
+	n.dmu.Unlock()
+}
+
+func (n *Network) killLocked(e *Endpoint) {
+	e.dead = true
+	e.state = stDead
+	e.q = nil
+	n.refreshLocked()
 }
 
 // Restart revives the endpoint of rank with an empty mailbox.
-func (n *Network) Restart(rank int) {
-	n.mu.RLock()
+func (n *Network) Restart(rank int) { n.RestartAt(rank, 0) }
+
+// RestartAt revives the endpoint of rank with an empty mailbox, running
+// with its send frontier at exactly vt — the virtual time the restarted
+// process resumes from. The frontier is allowed to move BACKWARDS here: a
+// rolled-back scope member whose pre-kill clock ran ahead of the detection
+// time resumes from its checkpoint below its stale frontier, and keeping
+// the stale value would advertise a bound its re-executed sends undercut.
+// Rewinding is sound because the latent recovery source (DeclareRecovery)
+// capped every delivery at the plane's minimum cap plus lookahead, which
+// never exceeded the detection time the restart resumes at or after.
+// Channel clamps are kept: a restarted receiver's channels continue the
+// FIFO order survivors already observed.
+func (n *Network) RestartAt(rank int, vt vtime.Time) {
+	n.dmu.Lock()
 	e := n.eps[rank]
-	n.mu.RUnlock()
-	e.revive()
+	e.dead = false
+	e.state = stRunning
+	e.frontier = vt
+	e.q = nil
+	n.refreshLocked()
+	n.dmu.Unlock()
+}
+
+// AttachAt marks id running with its send frontier at exactly vt,
+// rewinding a stale frontier left by a previous attachment. The supervisor
+// uses it to attach the recovery endpoint at a round's detection time,
+// which may precede the virtual time the previous round ended at; the same
+// latent-source argument as RestartAt makes the rewind sound.
+func (n *Network) AttachAt(id int, vt vtime.Time) {
+	n.dmu.Lock()
+	e := n.endpointLocked(id)
+	if e.state != stDead {
+		e.state = stRunning
+		e.frontier = vt
+		n.refreshLocked()
+	}
+	n.dmu.Unlock()
 }

@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"hydee/internal/netmodel"
 	"hydee/internal/vtime"
@@ -23,7 +25,7 @@ func TestFIFOPerChannel(t *testing.T) {
 	}
 	ep := n.Endpoint(1)
 	for i := 0; i < 100; i++ {
-		m, err := ep.Recv()
+		m, err := ep.Recv(0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,7 +43,7 @@ func TestArrivalStamping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := n.Endpoint(1).Recv()
+	m, err := n.Endpoint(1).Recv(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,6 +53,119 @@ func TestArrivalStamping(t *testing.T) {
 	}
 }
 
+func TestFIFOClampMakesArrivalMonotonePerChannel(t *testing.T) {
+	// A small message posted right after a large one on the same channel
+	// would overtake it by raw latency; FIFO channels admit no overtaking,
+	// so its arrival is clamped to the predecessor's.
+	model := netmodel.Myrinet10G()
+	n := NewNetwork(2, model)
+	err := n.Send(&Msg{Src: 0, Dst: 1, Kind: App, Tag: 1, WireLen: 100 << 10, SendVT: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = n.Send(&Msg{Src: 0, Dst: 1, Kind: App, Tag: 2, WireLen: 1, SendVT: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := n.Endpoint(1)
+	m1, err := ep.Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ep.Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Tag != 1 || m2.Tag != 2 {
+		t.Fatalf("FIFO order violated: got tags %d,%d", m1.Tag, m2.Tag)
+	}
+	if m2.ArriveVT != m1.ArriveVT {
+		t.Fatalf("small message not clamped: %v vs %v", m2.ArriveVT, m1.ArriveVT)
+	}
+}
+
+func TestDeliveryFollowsVirtualTimeNotEnqueueOrder(t *testing.T) {
+	// Src 2 enqueues first in real time but with the later virtual stamp;
+	// the receiver must still see virtual-time order.
+	n := NewNetwork(3, netmodel.Myrinet10G())
+	send(t, n, 2, 1, 22, 100_000)
+	send(t, n, 0, 1, 11, 50_000)
+	// Neither message is deliverable while the other sender could still
+	// produce an earlier stamp; retire both senders.
+	n.Quiesce(0)
+	n.Quiesce(2)
+	ep := n.Endpoint(1)
+	m1, err := ep.Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ep.Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Tag != 11 || m2.Tag != 22 {
+		t.Fatalf("virtual-time order violated: got tags %d,%d", m1.Tag, m2.Tag)
+	}
+}
+
+func TestRecvGatesOnLaggingSenderFrontier(t *testing.T) {
+	// A queued message is not handed out while a third process's frontier
+	// still admits an earlier stamp; publishing the frontier past the
+	// message releases it.
+	n := NewNetwork(3, netmodel.Myrinet10G())
+	send(t, n, 0, 1, 7, 50_000) // arrives ~53µs
+	got := make(chan *Msg, 1)
+	go func() {
+		m, err := n.Endpoint(1).Recv(0)
+		if err == nil {
+			got <- m
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("message delivered while src 2 could still produce an earlier stamp")
+	case <-time.After(20 * time.Millisecond):
+	}
+	n.Publish(2, 60_000) // now any message from 2 must arrive after 53µs+ε
+	select {
+	case m := <-got:
+		if m.Tag != 7 {
+			t.Fatalf("got tag %d", m.Tag)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery not released by frontier publish")
+	}
+}
+
+func TestBlockedReceiverFrontierUnblocksPeers(t *testing.T) {
+	// Src 2 never publishes explicitly, but blocking in Recv pins its
+	// frontier at its clock, and the transitive bound (it must deliver
+	// something itself before it can send) releases rank 1's message.
+	n := NewNetwork(3, netmodel.Myrinet10G())
+	send(t, n, 0, 1, 7, 50_000)
+	got := make(chan *Msg, 1)
+	go func() {
+		m, err := n.Endpoint(1).Recv(0)
+		if err == nil {
+			got <- m
+		}
+	}()
+	go func() {
+		// Rank 2 blocks at a clock past the message's arrival; it cannot
+		// send before that.
+		_, _ = n.Endpoint(2).Recv(60_000)
+	}()
+	select {
+	case m := <-got:
+		if m.Tag != 7 {
+			t.Fatalf("got tag %d", m.Tag)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked receiver's frontier did not release the delivery")
+	}
+	n.KillService(2) // reap the helper goroutine
+}
+
 func TestPiggybackInflatesWire(t *testing.T) {
 	model := netmodel.Myrinet10G()
 	n := NewNetwork(2, model)
@@ -58,7 +173,7 @@ func TestPiggybackInflatesWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, _ := n.Endpoint(1).Recv()
+	m, _ := n.Endpoint(1).Recv(0)
 	if m.Wire() != 116 {
 		t.Fatalf("wire %d, want 116", m.Wire())
 	}
@@ -74,11 +189,11 @@ func TestKillWipesMailboxAndUnblocks(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		ep := n.Endpoint(1)
-		if _, err := ep.Recv(); err != nil { // consumes the queued message
+		if _, err := ep.Recv(0); err != nil { // consumes the queued message
 			done <- err
 			return
 		}
-		_, err := ep.Recv() // blocks until kill
+		_, err := ep.Recv(0) // blocks until kill
 		done <- err
 	}()
 	// Wait for the goroutine to consume then block.
@@ -101,7 +216,7 @@ func TestKillWipesMailboxAndUnblocks(t *testing.T) {
 		t.Fatalf("pending after restart: %d", p)
 	}
 	send(t, n, 0, 1, 3, 0)
-	m, err := n.Endpoint(1).Recv()
+	m, err := n.Endpoint(1).Recv(0)
 	if err != nil || m.Tag != 3 {
 		t.Fatalf("revived endpoint broken: %v %v", m, err)
 	}
@@ -113,7 +228,7 @@ func TestKillLeavesPeerMailboxesIntact(t *testing.T) {
 	n := NewNetwork(2, netmodel.Ideal())
 	send(t, n, 0, 1, 7, 0)
 	n.Kill(0)
-	m, err := n.Endpoint(1).Recv()
+	m, err := n.Endpoint(1).Recv(0)
 	if err != nil || m.Tag != 7 {
 		t.Fatalf("peer mailbox was purged: %v %v", m, err)
 	}
@@ -125,8 +240,8 @@ func TestIncarnationStamping(t *testing.T) {
 	n.Kill(0)
 	n.Restart(0)
 	send(t, n, 0, 1, 2, 0)
-	m1, _ := n.Endpoint(1).Recv()
-	m2, _ := n.Endpoint(1).Recv()
+	m1, _ := n.Endpoint(1).Recv(0)
+	m2, _ := n.Endpoint(1).Recv(0)
 	if m1.Inc != 0 || m2.Inc != 1 {
 		t.Fatalf("incarnations %d,%d want 0,1", m1.Inc, m2.Inc)
 	}
@@ -165,12 +280,12 @@ func TestServiceEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := rec.Recv()
+	m, err := rec.Recv(0)
 	if err != nil || m.CtlBody != "hello" {
 		t.Fatalf("service endpoint broken: %v %v", m, err)
 	}
 	n.KillService(2)
-	if _, err := rec.Recv(); err != ErrKilled {
+	if _, err := rec.Recv(0); err != ErrKilled {
 		t.Fatal("KillService did not kill")
 	}
 }
@@ -185,16 +300,16 @@ func TestSendToUnknownEndpoint(t *testing.T) {
 func TestTryRecv(t *testing.T) {
 	n := NewNetwork(2, netmodel.Ideal())
 	ep := n.Endpoint(1)
-	if _, ok, err := ep.TryRecv(); ok || err != nil {
+	if _, ok, err := ep.TryRecv(0); ok || err != nil {
 		t.Fatal("TryRecv on empty mailbox should report not-ok")
 	}
 	send(t, n, 0, 1, 5, 0)
-	m, ok, err := ep.TryRecv()
+	m, ok, err := ep.TryRecv(0)
 	if !ok || err != nil || m.Tag != 5 {
 		t.Fatalf("TryRecv failed: %v %v %v", m, ok, err)
 	}
 	n.Kill(1)
-	if _, _, err := ep.TryRecv(); err != ErrKilled {
+	if _, _, err := ep.TryRecv(0); err != ErrKilled {
 		t.Fatal("TryRecv on dead endpoint should fail")
 	}
 }
@@ -211,14 +326,16 @@ func TestConcurrentSendersKeepPerChannelFIFO(t *testing.T) {
 		go func(s int) {
 			defer wg.Done()
 			for i := 0; i < msgs; i++ {
-				_ = n.Send(&Msg{Src: s, Dst: senders, Kind: App, Tag: i})
+				_ = n.Send(&Msg{Src: s, Dst: senders, Kind: App, Tag: i, SendVT: vtime.Time(i)})
 			}
+			// Retire the sender so the gate stops waiting on it.
+			n.Quiesce(s)
 		}(s)
 	}
 	seen := make([]int, senders)
 	ep := n.Endpoint(senders)
 	for k := 0; k < senders*msgs; k++ {
-		m, err := ep.Recv()
+		m, err := ep.Recv(0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,6 +345,157 @@ func TestConcurrentSendersKeepPerChannelFIFO(t *testing.T) {
 		seen[m.Src]++
 	}
 	wg.Wait()
+}
+
+// TestDeliverySequenceIsSchedulingIndependent drains the same virtual-time
+// traffic pattern twice with concurrent, real-time-racing senders and
+// asserts the delivered sequences are identical — the property the whole
+// delivery plane exists for.
+func TestDeliverySequenceIsSchedulingIndependent(t *testing.T) {
+	const (
+		senders = 6
+		msgs    = 200
+	)
+	run := func() []string {
+		n := NewNetwork(senders+1, netmodel.Myrinet10G())
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := 0; i < msgs; i++ {
+					// Deterministic virtual schedule, racing in real time.
+					at := vtime.Time(s*7_001 + i*13_007)
+					_ = n.Send(&Msg{Src: s, Dst: senders, Kind: App, Tag: i,
+						WireLen: 1 + (s+i)%512, SendVT: at})
+				}
+				n.Quiesce(s)
+			}(s)
+		}
+		ep := n.Endpoint(senders)
+		var seq []string
+		for k := 0; k < senders*msgs; k++ {
+			m, err := ep.Recv(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq = append(seq, fmt.Sprintf("%d/%d@%d", m.Src, m.Tag, m.ArriveVT))
+		}
+		wg.Wait()
+		return seq
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery sequence diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAwaitTurnOrdersActions checks that AwaitTurn admits contenders in
+// virtual-time order with the id tiebreak, regardless of who asks first.
+func TestAwaitTurnOrdersActions(t *testing.T) {
+	n := NewNetwork(3, netmodel.Ideal())
+	var mu sync.Mutex
+	var order []int
+
+	var wg sync.WaitGroup
+	turn := func(id int, vt vtime.Time) {
+		defer wg.Done()
+		if err := n.AwaitTurn(id, vt); err != nil {
+			t.Errorf("AwaitTurn(%d): %v", id, err)
+			return
+		}
+		mu.Lock()
+		order = append(order, id)
+		mu.Unlock()
+		// The action is done; move the frontier past every contender.
+		n.Publish(id, 1_000_000)
+	}
+	wg.Add(3)
+	go turn(2, 100) // later VT, asks first
+	time.Sleep(10 * time.Millisecond)
+	go turn(1, 50)
+	go turn(0, 50) // tied with 1; lower id goes first
+	wg.Wait()
+
+	want := []int{0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("admission order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRestartRewindsFrontier: a rolled-back rank whose pre-kill frontier
+// ran ahead of the detection time resumes BELOW its stale frontier; the
+// revived bound must be the resume time, or the gate would admit stamps the
+// restarted rank's re-executed sends can still undercut.
+func TestRestartRewindsFrontier(t *testing.T) {
+	n := NewNetwork(3, netmodel.Myrinet10G())
+	n.Publish(2, 70_000) // rank 2 ran ahead of the failure's detection time
+	n.Kill(2)
+	n.RestartAt(2, 60_000) // resumes from a checkpoint read at DetectVT=60µs
+	n.Quiesce(0)
+	send(t, n, 0, 1, 9, 61_700) // arrives ~65µs — rank 2 can still undercut it
+
+	got := make(chan *Msg, 1)
+	go func() {
+		m, err := n.Endpoint(1).Recv(0)
+		if err == nil {
+			got <- m
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("delivered while the restarted rank could still produce an earlier stamp")
+	case <-time.After(20 * time.Millisecond):
+	}
+	n.Publish(2, 65_000) // the restarted rank caught up past the stamp
+	select {
+	case m := <-got:
+		if m.Tag != 9 {
+			t.Fatalf("got tag %d", m.Tag)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery not released after the restarted rank advanced")
+	}
+}
+
+// TestAttachAtRewindsFrontier: re-attaching the recovery endpoint at a new
+// round's detection time must rewind a stale frontier left by an earlier
+// round that ended later in virtual time.
+func TestAttachAtRewindsFrontier(t *testing.T) {
+	n := NewNetwork(2, netmodel.Myrinet10G())
+	rec := 2
+	n.Endpoint(rec)
+	n.Publish(rec, 80_000) // previous round ended at 80µs
+	n.Quiesce(rec)
+	n.Quiesce(0)
+	n.AttachAt(rec, 50_000) // new round detected at 50µs
+	send(t, n, 0, 1, 5, 51_700)
+
+	got := make(chan *Msg, 1)
+	go func() {
+		m, err := n.Endpoint(1).Recv(0)
+		if err == nil {
+			got <- m
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("delivered while the re-attached recovery could still produce an earlier stamp")
+	case <-time.After(20 * time.Millisecond):
+	}
+	n.Publish(rec, 60_000)
+	select {
+	case m := <-got:
+		if m.Tag != 5 {
+			t.Fatalf("got tag %d", m.Tag)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery not released after the recovery advanced")
+	}
 }
 
 func TestKindString(t *testing.T) {
