@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: all build test test-short race determinism vet fmt-check check
+.PHONY: all build test test-short race determinism vet lint fmt-check check
 
 all: check
 
@@ -25,6 +26,16 @@ determinism:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is not vendored; the target
+# degrades to a notice when the binary is absent so offline checkouts
+# still pass, while CI installs it and gets the full run.
+lint: vet
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

@@ -1,8 +1,9 @@
 // Command hydee-cluster runs the off-line process-clustering tool on one
 // kernel or on all six, printing Table-I rows and, with -assign, the full
 // cluster assignment usable in HydEE configurations. The network model is
-// selected by name through the hydee registry and the six kernel traces
-// run in parallel.
+// selected by name through the hydee registry, the six kernel traces run
+// in parallel, and -events streams every trace's lifecycle to a JSONL
+// file.
 package main
 
 import (
@@ -24,6 +25,8 @@ func main() {
 	net := flag.String("net", "myrinet10g", "network model for the traces ("+strings.Join(hydee.ModelNames(), ", ")+"); clustering output is model-independent — rows derive from payload byte counts only")
 	par := flag.Int("par", 0, "parallel traces (0 = one per CPU)")
 	showAssign := flag.Bool("assign", false, "print the per-rank cluster assignment")
+	events := flag.String("events", "", "stream run lifecycle events to this file")
+	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
 	flag.Parse()
 
 	model, err := hydee.ModelByName(*net)
@@ -32,6 +35,18 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *events != "" {
+		var closeEvents func() error
+		ctx, closeEvents, err = hydee.StreamEventsToFile(ctx, *exporter, *events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := closeEvents(); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	rows, err := hydee.Table1Ctx(ctx, *np, *iters, model, *par)
 	if err != nil {

@@ -6,8 +6,9 @@
 // at most 1.25% on 256 ranks).
 //
 // The comparator protocol and network model are selected by name through
-// the hydee registries, and the independent runs of the sweep execute in
-// parallel. Ctrl-C cancels the sweep cleanly.
+// the hydee registries, the independent runs of the sweep execute in
+// parallel, and -events streams every run's lifecycle to a JSONL file.
+// Ctrl-C cancels the sweep cleanly.
 package main
 
 import (
@@ -29,6 +30,8 @@ func main() {
 	proto := flag.String("proto", "mlog", "comparator protocol: "+strings.Join(hydee.ProtocolNames(), ", "))
 	net := flag.String("net", "myrinet10g", "network model: "+strings.Join(hydee.ModelNames(), ", "))
 	par := flag.Int("par", 0, "parallel runs in the sweep (0 = one per CPU)")
+	events := flag.String("events", "", "stream run lifecycle events to this file")
+	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
 	flag.Parse()
 
 	comparator, err := hydee.ExperimentProtoByName(*proto)
@@ -41,6 +44,18 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *events != "" {
+		var closeEvents func() error
+		ctx, closeEvents, err = hydee.StreamEventsToFile(ctx, *exporter, *events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := closeEvents(); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	t1, err := hydee.Table1Ctx(ctx, *np, *traceIters, model, *par)
 	if err != nil {

@@ -6,8 +6,9 @@
 // message across a native latency plateau, and near-identical curves with
 // and without logging (the log copy overlaps transmission).
 //
-// The network model is selected by name through the hydee registry and the
-// three sweep configurations run concurrently.
+// The network model is selected by name through the hydee registry, the
+// three sweep configurations run concurrently, and -events streams every
+// run's lifecycle to a JSONL file.
 package main
 
 import (
@@ -25,6 +26,8 @@ import (
 func main() {
 	reps := flag.Int("reps", 10, "round trips per message size")
 	net := flag.String("net", "myrinet10g", "network model: "+strings.Join(hydee.ModelNames(), ", "))
+	events := flag.String("events", "", "stream run lifecycle events to this file")
+	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
 	flag.Parse()
 
 	model, err := hydee.ModelByName(*net)
@@ -33,6 +36,18 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *events != "" {
+		var closeEvents func() error
+		ctx, closeEvents, err = hydee.StreamEventsToFile(ctx, *exporter, *events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := closeEvents(); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	rows, err := hydee.Figure5Ctx(ctx, model, nil, *reps)
 	if err != nil {

@@ -3,8 +3,12 @@
 // baseline, full message logging, and HydEE, and reports how many ranks
 // roll back, the recovery time, and the makespan cost — the quantitative
 // backing for the paper's introduction claims (less rolled-back
-// computation, faster recovery, freed resources). The kernel and network
-// model are selected by name through the registries; Ctrl-C cancels.
+// computation, faster recovery, freed resources). The kernel, network
+// model and checkpoint store are selected by name through the hydee
+// registries (-store sharded:4 places each cluster's checkpoints on its
+// own storage shard); with a sharded store and -store-bps it also prints
+// the E5-extension burst comparison. -events streams every run's
+// lifecycle to a JSONL file. Ctrl-C cancels.
 package main
 
 import (
@@ -29,6 +33,11 @@ func main() {
 	ckpt := flag.Int("ckpt", 3, "checkpoint every k iterations")
 	failAfter := flag.Int("fail-after", 1, "inject the failure after this many checkpoints")
 	net := flag.String("net", "myrinet10g", "network model: "+strings.Join(hydee.ModelNames(), ", "))
+	storeSpec := flag.String("store", "mem", "checkpoint store, name[:shards] over "+strings.Join(hydee.StoreNames(), ", ")+" (e.g. sharded:4)")
+	storeBPS := flag.Float64("store-bps", 0, "stable-storage bandwidth in bytes/second per store link (0 = free)")
+	storeDir := flag.String("store-dir", "", `snapshot directory for -store file (runs reuse it; same-sequence files are overwritten)`)
+	events := flag.String("events", "", "stream run lifecycle events to this file")
+	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
 	flag.Parse()
 
 	k, err := apps.Get(*app)
@@ -39,20 +48,62 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	storeName, shards, err := hydee.ParseStoreSpec(*storeSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Probe the registry now so an unknown or misconfigured store fails
+	// before any sweep work, not inside the first run.
+	if _, err := hydee.StoreByName(storeName, hydee.StoreOptions{Shards: shards, Dir: *storeDir}); err != nil {
+		log.Fatal(err)
+	}
+	newStore := func(topo *hydee.Topology) hydee.Store {
+		opts := hydee.StoreOptions{WriteBPS: *storeBPS, ReadBPS: *storeBPS, Shards: shards, Dir: *storeDir}
+		if shards > 1 {
+			opts.Placement = hydee.ClusterPlacement(topo, shards)
+		}
+		st, err := hydee.StoreByName(storeName, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *events != "" {
+		var closeEvents func() error
+		ctx, closeEvents, err = hydee.StreamEventsToFile(ctx, *exporter, *events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := closeEvents(); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	cl, err := harness.ClusterApp(k, apps.Params{NP: *np, Iters: 2}, graph.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s on %d ranks: %d clusters, %.2f%% logged, %.2f%% expected rollback\n\n",
-		*app, *np, cl.K, 100*cl.CutFrac, 100*cl.ExpRollback)
+	fmt.Printf("%s on %d ranks: %d clusters, %.2f%% logged, %.2f%% expected rollback (store %s)\n\n",
+		*app, *np, cl.K, 100*cl.CutFrac, 100*cl.ExpRollback, *storeSpec)
 
-	rows, err := harness.ContainmentCtx(ctx, k, *np, *iters, *ckpt, cl.Assign, *failAfter, model)
+	rows, err := harness.ContainmentCtx(ctx, k, *np, *iters, *ckpt, cl.Assign, *failAfter, model, newStore)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(hydee.FormatE4(rows))
 	fmt.Println("every recovered execution was validated against its failure-free digests ✓")
+
+	if shards > 1 && *storeBPS > 0 {
+		burst, err := harness.CheckpointBurstSharded(ctx, k, *np, *iters, *ckpt, cl.Assign, *storeBPS, shards, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nE5 extension — checkpoint I/O burst, shared vs staggered vs %d cluster-placed shards:\n", shards)
+		fmt.Println(hydee.FormatE5(burst))
+	}
 }

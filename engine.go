@@ -30,6 +30,10 @@ import (
 type Engine struct {
 	cfg                         mpi.Config
 	storeWriteBPS, storeReadBPS float64
+	// storeMake/storeOpts build a fresh per-run store when WithStoreName
+	// was given (and no WithStore pinned one).
+	storeMake StoreFactory
+	storeOpts StoreOptions
 }
 
 // Option configures an Engine. Options apply in the order given to New;
@@ -65,9 +69,29 @@ func New(opts ...Option) (*Engine, error) {
 func (e *Engine) Run(ctx context.Context, program Program) (*Result, error) {
 	cfg := e.cfg
 	if cfg.Store == nil {
-		cfg.Store = checkpoint.NewMemStore(e.storeWriteBPS, e.storeReadBPS)
+		st, err := e.makeStore()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = st
 	}
 	return mpi.RunContext(ctx, cfg, program)
+}
+
+// makeStore builds the per-run store: the WithStoreName factory when one
+// was given, the default in-memory store otherwise.
+func (e *Engine) makeStore() (checkpoint.Store, error) {
+	if e.storeMake == nil {
+		return checkpoint.NewMemStore(e.storeWriteBPS, e.storeReadBPS), nil
+	}
+	opts := e.storeOpts
+	if opts.WriteBPS == 0 && opts.ReadBPS == 0 {
+		opts.WriteBPS, opts.ReadBPS = e.storeWriteBPS, e.storeReadBPS
+	}
+	if opts.Placement == nil && opts.Shards > 1 && e.cfg.Topo != nil {
+		opts.Placement = ClusterPlacement(e.cfg.Topo, opts.Shards)
+	}
+	return e.storeMake(opts)
 }
 
 // Config returns a copy of the runtime configuration the engine resolved
@@ -192,6 +216,42 @@ func WithObserver(o Observer) Option {
 func WithRecorder(r *EventRecorder) Option {
 	return func(e *Engine) error {
 		e.cfg.Recorder = r
+		return nil
+	}
+}
+
+// WithStore pins one checkpoint store instance for all of the engine's
+// runs — the hook for third-party Store implementations and for tests
+// that restart from a pre-populated store. A pinned store is shared
+// state: sequential runs see each other's snapshots (sequences restart
+// from 1, so same-program reruns overwrite rather than diverge), and
+// concurrent Run calls require the store to tolerate them. For isolated
+// per-run stores resolved by name, use WithStoreName.
+func WithStore(st Store) Option {
+	return func(e *Engine) error {
+		if st == nil {
+			return fmt.Errorf("hydee: WithStore(nil)")
+		}
+		e.cfg.Store = st
+		e.storeMake = nil
+		return nil
+	}
+}
+
+// WithStoreName resolves the store through the name registry ("mem",
+// "file", "sharded", or anything added via RegisterStore) and builds a
+// fresh store from it on every Run, so sequential runs never bleed
+// state. Zero opts bandwidths fall back to WithStorageBandwidth; a
+// sharded store with no explicit placement defaults to per-cluster
+// placement when the engine has a topology.
+func WithStoreName(name string, opts StoreOptions) Option {
+	return func(e *Engine) error {
+		mk, err := storeRegistry.lookup(name)
+		if err != nil {
+			return err
+		}
+		e.storeMake, e.storeOpts = mk, opts
+		e.cfg.Store = nil
 		return nil
 	}
 }

@@ -1,0 +1,189 @@
+package hydee
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Streaming observer exporters: Observer implementations that serialize
+// lifecycle events to an external sink, for long sweeps where a debug log
+// is too verbose and an in-process callback too ephemeral. Exporters are
+// safe for concurrent use — within one run the runtime serializes
+// observer calls, but a parallel sweep drives many runs into one exporter
+// at once — and must be closed to flush.
+//
+// Built-ins ("jsonl", "metrics") are pre-registered; third parties plug
+// in through RegisterExporter and select by name via ExporterByName.
+
+// Exporter is an Observer bound to an output sink. Close flushes and
+// finalizes the sink (it does not close the underlying writer).
+type Exporter interface {
+	Observer
+	Close() error
+}
+
+// ExporterFactory builds an Exporter streaming to w — the common
+// constructor signature RegisterExporter expects.
+type ExporterFactory func(w io.Writer) Exporter
+
+// jsonlEvent is the wire form of one lifecycle event. Virtual times are
+// nanoseconds; optional fields are omitted when absent so a line stays
+// one compact record.
+type jsonlEvent struct {
+	Kind  string `json:"kind"`
+	VT    int64  `json:"vt"`
+	Rank  int    `json:"rank"`
+	Ranks []int  `json:"ranks,omitempty"`
+	Round int    `json:"round"`
+	Seq   int    `json:"seq,omitempty"`
+	// Recovery-round outcome (recovery-end only).
+	RolledBack int   `json:"rolled_back,omitempty"`
+	Orphans    int   `json:"orphans,omitempty"`
+	CtlMsgs    int   `json:"ctl_msgs,omitempty"`
+	StartVT    int64 `json:"start_vt,omitempty"`
+	// Err carries the cause of a run-abort.
+	Err string `json:"err,omitempty"`
+}
+
+type jsonlExporter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLExporter streams every lifecycle event to w as one JSON object
+// per line. The first write error is sticky and reported by Close.
+func NewJSONLExporter(w io.Writer) Exporter {
+	return &jsonlExporter{enc: json.NewEncoder(w)}
+}
+
+// OnEvent implements Observer.
+func (x *jsonlExporter) OnEvent(ev RunEvent) {
+	rec := jsonlEvent{
+		Kind:  ev.Kind.String(),
+		VT:    int64(ev.VT),
+		Rank:  ev.Rank,
+		Ranks: ev.Ranks,
+		Round: ev.Round,
+		Seq:   ev.Seq,
+	}
+	if s := ev.Stats; s != nil {
+		rec.RolledBack = s.RolledBack
+		rec.Orphans = s.Orphans
+		rec.CtlMsgs = s.CtlMsgs
+		rec.StartVT = int64(s.StartVT)
+	}
+	if ev.Err != nil {
+		rec.Err = ev.Err.Error()
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.err != nil {
+		return
+	}
+	if err := x.enc.Encode(&rec); err != nil {
+		x.err = fmt.Errorf("hydee: jsonl exporter: %w", err)
+	}
+}
+
+// Close implements Exporter.
+func (x *jsonlExporter) Close() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.err
+}
+
+// RunMetrics is the summary a metrics exporter emits on Close: aggregate
+// counts over every run it observed.
+type RunMetrics struct {
+	Runs        int `json:"runs"`
+	Aborted     int `json:"aborted"`
+	Checkpoints int `json:"checkpoints"`
+	Failures    int `json:"failures"`
+	Recoveries  int `json:"recoveries"`
+	RolledBack  int `json:"rolled_back_ranks"`
+	// MaxMakespanVT / SumMakespanVT aggregate completed runs' makespans
+	// in virtual nanoseconds.
+	MaxMakespanVT int64 `json:"max_makespan_vt"`
+	SumMakespanVT int64 `json:"sum_makespan_vt"`
+}
+
+type metricsExporter struct {
+	mu sync.Mutex
+	w  io.Writer
+	m  RunMetrics
+}
+
+// NewMetricsExporter accumulates run-level counters (runs, checkpoints,
+// failures, recovery rounds, makespans) across every observed run and
+// writes one JSON summary line to w on Close — the cheap end of the
+// exporter spectrum for very long sweeps.
+func NewMetricsExporter(w io.Writer) Exporter {
+	return &metricsExporter{w: w}
+}
+
+// OnEvent implements Observer.
+func (x *metricsExporter) OnEvent(ev RunEvent) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	switch ev.Kind {
+	case EvRunStart:
+		x.m.Runs++
+	case EvRunAbort:
+		x.m.Aborted++
+	case EvCheckpoint:
+		x.m.Checkpoints++
+	case EvFailure:
+		x.m.Failures++
+	case EvRecoveryEnd:
+		x.m.Recoveries++
+		if ev.Stats != nil {
+			x.m.RolledBack += ev.Stats.RolledBack
+		}
+	case EvRunComplete:
+		vt := int64(ev.VT)
+		x.m.SumMakespanVT += vt
+		if vt > x.m.MaxMakespanVT {
+			x.m.MaxMakespanVT = vt
+		}
+	}
+}
+
+// Close implements Exporter: it writes the summary.
+func (x *metricsExporter) Close() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if err := json.NewEncoder(x.w).Encode(&x.m); err != nil {
+		return fmt.Errorf("hydee: metrics exporter: %w", err)
+	}
+	return nil
+}
+
+// StreamEventsToFile creates path, builds the named registered exporter
+// over it, and returns a context that streams every run's lifecycle
+// events to it — the one-call wiring behind the cmd binaries' -events
+// flags. The returned function closes the exporter and the file; call it
+// once the sweep is done.
+func StreamEventsToFile(ctx context.Context, exporterName, path string) (context.Context, func() error, error) {
+	mk, err := ExporterByName(exporterName)
+	if err != nil {
+		return ctx, nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return ctx, nil, fmt.Errorf("hydee: event stream: %w", err)
+	}
+	exp := mk(f)
+	closeFn := func() error {
+		expErr := exp.Close()
+		if err := f.Close(); err != nil && expErr == nil {
+			expErr = fmt.Errorf("hydee: event stream: %w", err)
+		}
+		return expErr
+	}
+	return ContextWithObserver(ctx, exp), closeFn, nil
+}

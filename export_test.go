@@ -1,0 +1,155 @@
+package hydee_test
+
+// Tests for the streaming observer exporters: JSONL event framing, the
+// metrics summary, and context-carried wiring through sweep helpers.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hydee"
+)
+
+func runWithExporter(t *testing.T, exp hydee.Exporter) {
+	t.Helper()
+	eng, err := hydee.New(failingEngineOpts(hydee.WithObserver(exp))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), hydee.StencilProgram(8, 4096)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONLExporter(t *testing.T) {
+	var buf bytes.Buffer
+	exp := hydee.NewJSONLExporter(&buf)
+	runWithExporter(t, exp)
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		kind, _ := rec["kind"].(string)
+		if kind == "" {
+			t.Fatalf("line without kind: %q", sc.Text())
+		}
+		kinds[kind]++
+		if kind == "recovery-end" {
+			if _, ok := rec["rolled_back"]; !ok {
+				t.Errorf("recovery-end line misses round stats: %q", sc.Text())
+			}
+		}
+	}
+	if kinds["run-start"] != 1 || kinds["run-complete"] != 1 {
+		t.Errorf("run boundary lines: %v", kinds)
+	}
+	if kinds["checkpoint"] == 0 || kinds["failure"] != 1 || kinds["recovery-end"] != 1 {
+		t.Errorf("lifecycle lines: %v", kinds)
+	}
+}
+
+func TestMetricsExporter(t *testing.T) {
+	var buf bytes.Buffer
+	exp := hydee.NewMetricsExporter(&buf)
+	runWithExporter(t, exp)
+	runWithExporter(t, exp) // a second run accumulates
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var m hydee.RunMetrics
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("summary %q: %v", buf.String(), err)
+	}
+	if m.Runs != 2 || m.Aborted != 0 {
+		t.Errorf("runs = %d/%d aborted, want 2/0", m.Runs, m.Aborted)
+	}
+	if m.Failures != 2 || m.Recoveries != 2 || m.RolledBack != 4 {
+		t.Errorf("failure accounting: %+v", m)
+	}
+	if m.Checkpoints == 0 || m.MaxMakespanVT <= 0 || m.SumMakespanVT < 2*m.MaxMakespanVT {
+		t.Errorf("aggregates: %+v", m)
+	}
+}
+
+// TestContextObserverReachesSweeps drives a parallel multi-spec sweep
+// under a context-carried exporter — the -events wiring of the cmd
+// binaries — and checks every run reported its lifecycle.
+func TestContextObserverReachesSweeps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	ctx, closeEvents, err := hydee.StreamEventsToFile(context.Background(), "jsonl", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := hydee.KernelByName("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []hydee.ExperimentSpec{
+		{Kernel: k, Params: hydee.KernelParams{NP: 8, Iters: 2}, Proto: hydee.ProtoNative},
+		{Kernel: k, Params: hydee.KernelParams{NP: 8, Iters: 2}, Proto: hydee.ProtoCoord},
+	}
+	if _, err := hydee.RunExperiments(ctx, specs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeEvents(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, completes := 0, 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var rec struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		switch rec.Kind {
+		case "run-start":
+			starts++
+		case "run-complete":
+			completes++
+		}
+	}
+	if starts != len(specs) || completes != len(specs) {
+		t.Errorf("observed %d starts / %d completes, want %d each", starts, completes, len(specs))
+	}
+}
+
+// TestContextObserverComposes checks a context observer does not replace
+// a run's own observer — both see the events — and that nil observers
+// are ignored.
+func TestContextObserverComposes(t *testing.T) {
+	var own, viaCtx int
+	ctx := hydee.ContextWithObserver(context.Background(), hydee.ObserverFunc(func(ev hydee.RunEvent) {
+		viaCtx++
+	}))
+	ctx = hydee.ContextWithObserver(ctx, nil) // no-op
+	eng, err := hydee.New(
+		hydee.WithRanks(2),
+		hydee.WithObserver(hydee.ObserverFunc(func(ev hydee.RunEvent) { own++ })),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(ctx, hydee.RingProgram(3, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if own == 0 || own != viaCtx {
+		t.Errorf("own observer saw %d events, context observer %d; want equal and nonzero", own, viaCtx)
+	}
+}

@@ -322,6 +322,20 @@ func Clusterings(np, traceIters int) (map[string][]int, []Table1Row, error) {
 	return harness.Clusterings(np, traceIters, graph.DefaultOptions())
 }
 
+// CheckpointBurst regenerates E5: the kernel checkpoints into one shared
+// store of storeBPS bytes/second, simultaneously vs staggered.
+func CheckpointBurst(k Kernel, np, iters, ckptEvery int, assign []int, storeBPS float64) ([]E5Row, error) {
+	return harness.CheckpointBurst(k, np, iters, ckptEvery, assign, storeBPS)
+}
+
+// CheckpointBurstSharded is the E5 extension: one shared store vs
+// HydEE's staggered schedule vs a sharded store with per-cluster
+// placement and independent per-shard bandwidth contention (nil model =
+// Myrinet10G).
+func CheckpointBurstSharded(ctx context.Context, k Kernel, np, iters, ckptEvery int, assign []int, storeBPS float64, shards int, model Model) ([]E5Row, error) {
+	return harness.CheckpointBurstSharded(ctx, k, np, iters, ckptEvery, assign, storeBPS, shards, model)
+}
+
 // NetPIPEStandardSizes is the Figure 5 size sweep.
 func NetPIPEStandardSizes() []int { return netpipe.StandardSizes() }
 

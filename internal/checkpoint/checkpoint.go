@@ -117,8 +117,10 @@ type Store interface {
 	// Save persists the snapshot and returns the virtual time at which the
 	// write completes, given it was issued at the process clock `at`.
 	Save(s *Snapshot, at vtime.Time) (vtime.Time, error)
-	// LatestSeq reports the newest snapshot sequence saved for rank
-	// (0 = none).
+	// LatestSeq reports the newest snapshot sequence of the rank's
+	// current save streak (0 = none). A save at or below the previous
+	// latest restarts the streak — that is how a store pinned across
+	// several runs reports the current run, not an earlier one.
 	LatestSeq(rank int) int
 	// Load returns the snapshot of rank with the given sequence. The
 	// returned time is when the read completes if issued at `at`.
@@ -181,9 +183,15 @@ func (st *MemStore) Save(s *Snapshot, at vtime.Time) (vtime.Time, error) {
 		st.snaps[cp.Rank] = gen
 	}
 	gen[cp.Seq] = cp
-	if cp.Seq > st.latest[cp.Rank] {
-		st.latest[cp.Rank] = cp.Seq
-	}
+	// latest tracks the newest sequence of the current save streak. A
+	// rank's saves are strictly increasing within one run, so a save at or
+	// below the recorded latest means the store is being reused by a new
+	// run whose sequence space restarted (engine WithStore pinning); the
+	// streak resets with it, or the GC below would prune the new run's
+	// snapshots against the old run's high-water mark. The old run's
+	// higher-sequence leftovers linger unpruned, which is harmless: the
+	// runtime only restores sequences the current run completed.
+	st.latest[cp.Rank] = cp.Seq
 	for seq := range gen {
 		if seq <= st.latest[cp.Rank]-historyKeep {
 			delete(gen, seq)

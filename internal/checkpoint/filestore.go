@@ -73,9 +73,9 @@ func (st *FileStore) Save(s *Snapshot, at vtime.Time) (vtime.Time, error) {
 	if err := f.Close(); err != nil {
 		return at, fmt.Errorf("checkpoint: %w", err)
 	}
-	if s.Seq > st.latest[s.Rank] {
-		st.latest[s.Rank] = s.Seq
-	}
+	// Reset the streak on sequence restart, like MemStore: a reused store
+	// must report the current run's latest, not an earlier run's.
+	st.latest[s.Rank] = s.Seq
 	// Prune old generations like MemStore.
 	for seq := s.Seq - historyKeep; seq > 0; seq-- {
 		p := st.path(s.Rank, seq)

@@ -7,11 +7,13 @@ import (
 	"sync"
 
 	"hydee/internal/apps"
+	"hydee/internal/checkpoint"
 	"hydee/internal/failure"
 	"hydee/internal/graph"
 	"hydee/internal/mpi"
 	"hydee/internal/netmodel"
 	"hydee/internal/netpipe"
+	"hydee/internal/rollback"
 	"hydee/internal/vtime"
 )
 
@@ -261,12 +263,14 @@ type E4Row struct {
 // fault-tolerant protocol and measures how far it spreads. Results are
 // also validated against the failure-free digests.
 func Containment(k apps.Kernel, np, iters, ckptEvery int, assign []int, failAfterCkpts int) ([]E4Row, error) {
-	return ContainmentCtx(context.Background(), k, np, iters, ckptEvery, assign, failAfterCkpts, nil)
+	return ContainmentCtx(context.Background(), k, np, iters, ckptEvery, assign, failAfterCkpts, nil, nil)
 }
 
-// ContainmentCtx is Containment with a context and an explicit network
-// model (nil = Myrinet10G).
-func ContainmentCtx(ctx context.Context, k apps.Kernel, np, iters, ckptEvery int, assign []int, failAfterCkpts int, model netmodel.Model) ([]E4Row, error) {
+// ContainmentCtx is Containment with a context, an explicit network
+// model (nil = Myrinet10G) and an explicit checkpoint-store constructor
+// (nil = a fresh free in-memory store per run; the constructor sees each
+// run's topology so sharded stores can place clusters).
+func ContainmentCtx(ctx context.Context, k apps.Kernel, np, iters, ckptEvery int, assign []int, failAfterCkpts int, model netmodel.Model, newStore func(*rollback.Topology) checkpoint.Store) ([]E4Row, error) {
 	var rows []E4Row
 	sched := func() *failure.Schedule {
 		return failure.NewSchedule(failure.Event{
@@ -276,7 +280,7 @@ func ContainmentCtx(ctx context.Context, k apps.Kernel, np, iters, ckptEvery int
 	}
 	for _, proto := range []Proto{ProtoCoord, ProtoMLog, ProtoHydEE} {
 		params := apps.Params{NP: np, Iters: iters}
-		base := Spec{Kernel: k, Params: params, Proto: proto, Assign: assign, CheckpointEvery: ckptEvery, Model: model}
+		base := Spec{Kernel: k, Params: params, Proto: proto, Assign: assign, CheckpointEvery: ckptEvery, Model: model, NewStore: newStore}
 		clean, err := RunCtx(ctx, base)
 		if err != nil {
 			return nil, fmt.Errorf("e4: %s/%s clean: %w", k.Name, proto, err)
@@ -345,6 +349,50 @@ func CheckpointBurst(k apps.Kernel, np, iters, ckptEvery int, assign []int, stor
 		})
 		if err != nil {
 			return nil, fmt.Errorf("e5: %s: %w", cs.name, err)
+		}
+		rows = append(rows, E5Row{
+			Config:    cs.name,
+			MaxQueue:  sum.Store.MaxQueue,
+			Makespan:  sum.Makespan,
+			CkptBytes: sum.Totals.CkptBytes,
+		})
+	}
+	return rows, nil
+}
+
+// CheckpointBurstSharded extends E5 to sharded stable storage: the
+// kernel runs under HydEE with everything checkpointing simultaneously
+// into (a) one shared store of storeBPS bytes/second, (b) the same store
+// with HydEE's staggered schedule, and (c) a sharded store of `shards`
+// cluster-placed shards of storeBPS each. Sharding attacks the I/O burst
+// spatially (independent storage targets) where staggering attacks it
+// temporally (skewed schedules); the sharded MaxQueue backlog should
+// drop toward the staggered one with no schedule skew at all. model
+// selects the network (nil = Myrinet10G, like the other sweeps).
+func CheckpointBurstSharded(ctx context.Context, k apps.Kernel, np, iters, ckptEvery int, assign []int, storeBPS float64, shards int, model netmodel.Model) ([]E5Row, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("e5-sharded: need at least 2 shards, got %d", shards)
+	}
+	cases := []struct {
+		name    string
+		stagger bool
+		shards  int
+	}{
+		{"hydee-shared", false, 0},
+		{"hydee-staggered", true, 0},
+		{fmt.Sprintf("hydee-sharded:%d", shards), false, shards},
+	}
+	var rows []E5Row
+	for _, cs := range cases {
+		sum, err := RunCtx(ctx, Spec{
+			Kernel: k, Params: apps.Params{NP: np, Iters: iters},
+			Proto: ProtoHydEE, Assign: assign, Model: model,
+			CheckpointEvery: ckptEvery, Stagger: cs.stagger,
+			StoreWriteBPS: storeBPS, StoreReadBPS: storeBPS,
+			StoreShards: cs.shards,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("e5-sharded: %s: %w", cs.name, err)
 		}
 		rows = append(rows, E5Row{
 			Config:    cs.name,

@@ -80,8 +80,16 @@ type Spec struct {
 	// Failures is the fail-stop schedule.
 	Failures *failure.Schedule
 	// StoreWriteBPS / StoreReadBPS model stable storage bandwidth
-	// (0 = free storage).
+	// (0 = free storage; per shard when StoreShards > 1).
 	StoreWriteBPS, StoreReadBPS float64
+	// StoreShards > 1 shards the checkpoint store with per-cluster
+	// placement: each cluster's checkpoints land on shard
+	// cluster % StoreShards with independent bandwidth contention.
+	StoreShards int
+	// NewStore, when non-nil, overrides the store construction entirely
+	// (it sees the resolved topology so placements can follow clusters).
+	// Every run must get a fresh store, or sequential runs bleed state.
+	NewStore func(topo *rollback.Topology) checkpoint.Store
 	// Recorder optionally records application-level events.
 	Recorder *trace.Recorder
 	// Watchdog overrides the deadlock guard.
@@ -128,6 +136,20 @@ func (s *Spec) topoAndProtocol() (*rollback.Topology, rollback.Protocol, error) 
 	}
 }
 
+// makeStore builds the run's checkpoint store from the spec: an explicit
+// constructor, a cluster-placed sharded store, or the default shared
+// in-memory store.
+func (s *Spec) makeStore(topo *rollback.Topology) checkpoint.Store {
+	if s.NewStore != nil {
+		return s.NewStore(topo)
+	}
+	if n := s.StoreShards; n > 1 {
+		return checkpoint.NewShardedStore(n, s.StoreWriteBPS, s.StoreReadBPS,
+			func(rank int) int { return topo.ClusterOf[rank] % n })
+	}
+	return checkpoint.NewMemStore(s.StoreWriteBPS, s.StoreReadBPS)
+}
+
 // Run executes the spec.
 func Run(s Spec) (*Summary, error) { return RunCtx(context.Background(), s) }
 
@@ -152,7 +174,7 @@ func RunCtx(ctx context.Context, s Spec) (*Summary, error) {
 		Model:             s.Model,
 		Topo:              topo,
 		Protocol:          prot,
-		Store:             checkpoint.NewMemStore(s.StoreWriteBPS, s.StoreReadBPS),
+		Store:             s.makeStore(topo),
 		CheckpointEvery:   s.CheckpointEvery,
 		CheckpointStagger: s.Stagger,
 		Failures:          s.Failures,

@@ -1,0 +1,52 @@
+package mpi
+
+// Benchmarks of the supervisor event channel — the single funnel every
+// rank goroutine reports through (finish, death, failure detection).
+// ROADMAP: very large runs (np >= 1024) serialize on this channel; these
+// numbers are the baseline for batching it.
+
+import (
+	"sync"
+	"testing"
+
+	"hydee/internal/vtime"
+)
+
+// benchEventChannel pushes b.N procEvents through a channel sized like
+// the runtime's (4*np+16) with a draining consumer, from `producers`
+// concurrent goroutines emulating rank goroutines.
+func benchEventChannel(b *testing.B, np, producers int) {
+	evCh := make(chan procEvent, 4*np+16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range evCh {
+		}
+	}()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / producers
+	for p := 0; p < producers; p++ {
+		n := per
+		if p == 0 {
+			n += b.N % producers
+		}
+		wg.Add(1)
+		go func(rank, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				evCh <- procEvent{kind: evFinished, rank: rank, vt: vtime.Time(i)}
+			}
+		}(p, n)
+	}
+	wg.Wait()
+	close(evCh)
+	<-done
+}
+
+func BenchmarkSupervisorEventChannel_NP256(b *testing.B)  { benchEventChannel(b, 256, 256) }
+func BenchmarkSupervisorEventChannel_NP1024(b *testing.B) { benchEventChannel(b, 1024, 1024) }
+
+// BenchmarkSupervisorEventChannelUncontended is the single-producer
+// floor: the channel cost without cross-rank contention.
+func BenchmarkSupervisorEventChannelUncontended(b *testing.B) { benchEventChannel(b, 1024, 1) }

@@ -370,6 +370,11 @@ func (p *Proc) checkpointCall() error {
 	if err != nil {
 		return err
 	}
+	p.rt.mu.Lock()
+	if seq > p.rt.ckptDone[p.rank] {
+		p.rt.ckptDone[p.rank] = seq
+	}
+	p.rt.mu.Unlock()
 	p.clock.MergeAtLeast(endVT)
 	p.publish()
 	p.metrics.Checkpoints++

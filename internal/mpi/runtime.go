@@ -40,6 +40,12 @@ type Runtime struct {
 	rounds   []rollback.RecoveryStats
 	wg       sync.WaitGroup
 	roundSeq int
+	// ckptDone[rank] is the newest checkpoint sequence THIS run completed
+	// for rank (guarded by mu). Restores consult it rather than the
+	// store's LatestSeq so a store pinned across several runs (engine
+	// WithStore) can never leak a previous run's sequences into this
+	// run's restart scope.
+	ckptDone []int
 }
 
 type evKind int
@@ -76,6 +82,13 @@ func RunContext(ctx context.Context, cfg Config, program Program) (*Result, erro
 	if err := cfg.normalize(); err != nil {
 		return nil, runErr(-1, -1, PhaseConfig, err)
 	}
+	if o := observerFromContext(ctx); o != nil {
+		if cfg.Observer != nil {
+			cfg.Observer = MultiObserver(cfg.Observer, o)
+		} else {
+			cfg.Observer = o
+		}
+	}
 	rt := &Runtime{
 		cfg:      cfg,
 		model:    cfg.Model,
@@ -91,6 +104,7 @@ func RunContext(ctx context.Context, cfg Config, program Program) (*Result, erro
 		metrics:  make([]rollback.Metrics, cfg.NP),
 		results:  make([]any, cfg.NP),
 		finalVT:  make([]vtime.Time, cfg.NP),
+		ckptDone: make([]int, cfg.NP),
 	}
 	if cfg.Failures != nil {
 		rt.inj = failure.NewInjector(cfg.Failures)
@@ -333,20 +347,25 @@ func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadE
 // A failure can land while part of a cluster has completed checkpoint N and
 // the rest is still writing it, so each cluster restores from the minimum
 // sequence completed by all of its members (0 = restart from the initial
-// state). A sequence the store announced via LatestSeq but cannot load
+// state). The completed sequences come from the runtime's own per-run
+// table, not the store's LatestSeq: a store pinned across runs still
+// holds earlier runs' snapshots, and those must never enter this run's
+// restart scope. A sequence this run completed but the store cannot load
 // aborts the round with ErrCheckpointLost: restarting that rank from its
 // initial state instead would silently diverge from the survivors.
 func (rt *Runtime) launchRound(rs *roundState) error {
 	rs.recovering = true
 	info := rs.info
 	restoreSeq := make(map[int]int) // cluster -> min completed seq
+	rt.mu.Lock()
 	for _, r := range info.RolledBack {
 		c := rt.topo.ClusterOf[r]
-		seq := rt.store.LatestSeq(r)
+		seq := rt.ckptDone[r]
 		if cur, ok := restoreSeq[c]; !ok || seq < cur {
 			restoreSeq[c] = seq
 		}
 	}
+	rt.mu.Unlock()
 	snaps := make([]*checkpoint.Snapshot, len(info.RolledBack))
 	starts := make([]vtime.Time, len(info.RolledBack))
 	for i, r := range info.RolledBack {

@@ -1,6 +1,7 @@
 package hydee
 
 import (
+	"context"
 	"io"
 
 	"hydee/internal/mpi"
@@ -40,3 +41,14 @@ func NewLogObserver(w io.Writer) Observer { return mpi.NewLogObserver(w) }
 
 // MultiObserver fans events out to several observers in order.
 func MultiObserver(obs ...Observer) Observer { return mpi.MultiObserver(obs...) }
+
+// ContextWithObserver returns a context carrying o: every run started
+// under it — directly or through sweep helpers like Table1Ctx and
+// Figure6Ctx — streams its lifecycle events to o in addition to its own
+// configured observer. This is how the cmd binaries wire -events
+// exporters into whole sweeps. Unlike a run's own observer, o may see
+// events of several concurrent runs interleaved, so it must be
+// concurrency-safe (the built-in exporters are).
+func ContextWithObserver(ctx context.Context, o Observer) context.Context {
+	return mpi.ContextWithObserver(ctx, o)
+}

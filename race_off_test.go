@@ -1,0 +1,6 @@
+//go:build !race
+
+package hydee_test
+
+// raceEnabled is false in a non-race build; see race_on_test.go.
+const raceEnabled = false

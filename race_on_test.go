@@ -1,0 +1,9 @@
+//go:build race
+
+package hydee_test
+
+// raceEnabled reports that this binary was built with the race detector;
+// the np=1024 smoke workload skips under it (the detector makes the
+// 1024-goroutine run ~25x slower without adding coverage the smaller
+// -race runs don't already have).
+const raceEnabled = true

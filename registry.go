@@ -4,71 +4,237 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"hydee/internal/harness"
 )
 
 // Name-based registries: the cmd binaries (and any embedding application)
-// select protocols and network models via flags instead of hard-coded
-// switches. Lookups are case-insensitive.
+// select protocols, network models, checkpoint stores and event exporters
+// via flags instead of hard-coded switches. Lookups are case-insensitive.
+// Embedders plug third-party implementations in through the Register*
+// hooks; registration is safe under concurrency and a name can be claimed
+// exactly once.
 
-var protocolRegistry = map[string]func() Protocol{
-	"hydee":  HydEE,
-	"coord":  Coordinated,
-	"mlog":   MessageLogging,
-	"native": Native,
+// registry is a concurrency-safe, case-insensitive name table of factory
+// values of type F. Canonical names and shorthand aliases resolve
+// identically; listings and error messages report canonical names first,
+// so an alias never masquerades as a distinct backend.
+type registry[F any] struct {
+	kind string // "protocol", "network model", ... for error messages
+
+	mu      sync.RWMutex
+	entries map[string]F
+	// aliasOf maps a registered alias to its canonical name; canonical
+	// names are absent.
+	aliasOf map[string]string
 }
 
-var modelRegistry = map[string]func() Model{
-	"myrinet10g": func() Model { return Myrinet10G() },
-	"myrinet":    func() Model { return Myrinet10G() },
-	"tcpgige":    func() Model { return TCPGigE() },
-	"gige":       func() Model { return TCPGigE() },
-	"ideal":      func() Model { return IdealNetwork() },
+func newRegistry[F any](kind string) *registry[F] {
+	return &registry[F]{
+		kind:    kind,
+		entries: make(map[string]F),
+		aliasOf: make(map[string]string),
+	}
+}
+
+// register claims name for f. canonical="" registers a canonical name;
+// otherwise name becomes an alias of canonical. Empty names and
+// collisions (with canonical names and aliases alike) are errors.
+func (r *registry[F]) register(name, canonical string, f F) error {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" {
+		return fmt.Errorf("hydee: register %s: empty name", r.kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.entries[key]; taken {
+		return fmt.Errorf("hydee: register %s %q: name already taken", r.kind, name)
+	}
+	r.entries[key] = f
+	if canonical != "" {
+		r.aliasOf[key] = strings.ToLower(canonical)
+	}
+	return nil
+}
+
+// mustRegister backs the built-in init-time registrations.
+func (r *registry[F]) mustRegister(name, canonical string, f F) {
+	if err := r.register(name, canonical, f); err != nil {
+		panic(err)
+	}
+}
+
+// lookup resolves a name or alias to its factory.
+func (r *registry[F]) lookup(name string) (F, error) {
+	r.mu.RLock()
+	f, ok := r.entries[strings.ToLower(name)]
+	r.mu.RUnlock()
+	if !ok {
+		var zero F
+		return zero, fmt.Errorf("hydee: unknown %s %q (have %s)", r.kind, name, r.have())
+	}
+	return f, nil
+}
+
+// names returns the canonical names, sorted. The listing is a snapshot:
+// it reflects one consistent registry state even under concurrent
+// registration.
+func (r *registry[F]) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		if _, isAlias := r.aliasOf[n]; !isAlias {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// have renders the name inventory for error messages: canonical names
+// first, shorthand aliases after.
+func (r *registry[F]) have() string {
+	canonical := r.names()
+	r.mu.RLock()
+	aliases := make([]string, 0, len(r.aliasOf))
+	for a := range r.aliasOf {
+		aliases = append(aliases, a)
+	}
+	r.mu.RUnlock()
+	sort.Strings(aliases)
+	s := strings.Join(canonical, ", ")
+	if len(aliases) > 0 {
+		s += "; aliases: " + strings.Join(aliases, ", ")
+	}
+	return s
+}
+
+var (
+	protocolRegistry = newRegistry[func() Protocol]("protocol")
+	modelRegistry    = newRegistry[func() Model]("network model")
+	storeRegistry    = newRegistry[StoreFactory]("checkpoint store")
+	exporterRegistry = newRegistry[ExporterFactory]("event exporter")
+)
+
+func init() {
+	protocolRegistry.mustRegister("hydee", "", HydEE)
+	protocolRegistry.mustRegister("coord", "", Coordinated)
+	protocolRegistry.mustRegister("mlog", "", MessageLogging)
+	protocolRegistry.mustRegister("native", "", Native)
+
+	modelRegistry.mustRegister("myrinet10g", "", func() Model { return Myrinet10G() })
+	modelRegistry.mustRegister("myrinet", "myrinet10g", func() Model { return Myrinet10G() })
+	modelRegistry.mustRegister("tcpgige", "", func() Model { return TCPGigE() })
+	modelRegistry.mustRegister("gige", "tcpgige", func() Model { return TCPGigE() })
+	modelRegistry.mustRegister("ideal", "", func() Model { return IdealNetwork() })
+
+	storeRegistry.mustRegister("mem", "", memStoreFactory)
+	storeRegistry.mustRegister("memory", "mem", memStoreFactory)
+	storeRegistry.mustRegister("file", "", fileStoreFactory)
+	storeRegistry.mustRegister("sharded", "", shardedStoreFactory)
+
+	exporterRegistry.mustRegister("jsonl", "", NewJSONLExporter)
+	exporterRegistry.mustRegister("metrics", "", NewMetricsExporter)
+}
+
+// RegisterProtocol adds a third-party rollback-recovery protocol to the
+// name registry, making it selectable through WithProtocolName and the
+// cmd binaries' --proto flags. mk must return a fresh instance per call.
+// Registration is concurrency-safe; empty names and already-taken names
+// (canonical or alias, case-insensitive) are errors.
+func RegisterProtocol(name string, mk func() Protocol) error {
+	if mk == nil {
+		return fmt.Errorf("hydee: RegisterProtocol(%q): nil constructor", name)
+	}
+	return protocolRegistry.register(name, "", mk)
+}
+
+// RegisterModel adds a third-party network cost model to the name
+// registry (see RegisterProtocol for the registration rules).
+func RegisterModel(name string, mk func() Model) error {
+	if mk == nil {
+		return fmt.Errorf("hydee: RegisterModel(%q): nil constructor", name)
+	}
+	return modelRegistry.register(name, "", mk)
+}
+
+// RegisterStore adds a third-party checkpoint-store backend to the name
+// registry, making it selectable through WithStoreName and the cmd
+// binaries' -store flags (see RegisterProtocol for the registration
+// rules). Custom stores carry determinism obligations — see the
+// "Extension points" section of DESIGN.md.
+func RegisterStore(name string, mk StoreFactory) error {
+	if mk == nil {
+		return fmt.Errorf("hydee: RegisterStore(%q): nil factory", name)
+	}
+	return storeRegistry.register(name, "", mk)
+}
+
+// RegisterExporter adds a third-party streaming event exporter to the
+// name registry, making it selectable through the cmd binaries' -events
+// flags (see RegisterProtocol for the registration rules).
+func RegisterExporter(name string, mk ExporterFactory) error {
+	if mk == nil {
+		return fmt.Errorf("hydee: RegisterExporter(%q): nil factory", name)
+	}
+	return exporterRegistry.register(name, "", mk)
 }
 
 // ProtocolByName returns a fresh instance of the named rollback-recovery
 // protocol: "hydee", "coord" (globally coordinated checkpointing), "mlog"
-// (full sender-based message logging) or "native" (no fault tolerance).
+// (full sender-based message logging), "native" (no fault tolerance), or
+// anything added through RegisterProtocol.
 func ProtocolByName(name string) (Protocol, error) {
-	mk, ok := protocolRegistry[strings.ToLower(name)]
-	if !ok {
-		return nil, fmt.Errorf("hydee: unknown protocol %q (have %s)", name, strings.Join(ProtocolNames(), ", "))
+	mk, err := protocolRegistry.lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return mk(), nil
 }
 
 // ProtocolNames lists the registered protocol names, sorted.
-func ProtocolNames() []string {
-	names := make([]string, 0, len(protocolRegistry))
-	for n := range protocolRegistry {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+func ProtocolNames() []string { return protocolRegistry.names() }
 
 // ModelByName returns a fresh instance of the named network cost model:
-// "myrinet10g" (the paper's testbed), "tcpgige" or "ideal". "myrinet" and
-// "gige" are accepted as shorthands.
+// "myrinet10g" (the paper's testbed), "tcpgige", "ideal", or anything
+// added through RegisterModel. "myrinet" and "gige" are accepted as
+// shorthand aliases.
 func ModelByName(name string) (Model, error) {
-	mk, ok := modelRegistry[strings.ToLower(name)]
-	if !ok {
-		return nil, fmt.Errorf("hydee: unknown network model %q (have %s)", name, strings.Join(ModelNames(), ", "))
+	mk, err := modelRegistry.lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return mk(), nil
 }
 
-// ModelNames lists the registered model names, sorted (shorthands
-// included).
-func ModelNames() []string {
-	names := make([]string, 0, len(modelRegistry))
-	for n := range modelRegistry {
-		names = append(names, n)
+// ModelNames lists the registered model names, sorted. Shorthand aliases
+// ("myrinet", "gige") are resolvable through ModelByName but not listed —
+// an alias is not a distinct backend.
+func ModelNames() []string { return modelRegistry.names() }
+
+// StoreByName builds the named checkpoint store: "mem", "file",
+// "sharded", or anything added through RegisterStore.
+func StoreByName(name string, opts StoreOptions) (Store, error) {
+	mk, err := storeRegistry.lookup(name)
+	if err != nil {
+		return nil, err
 	}
-	sort.Strings(names)
-	return names
+	return mk(opts)
 }
+
+// StoreNames lists the registered store names, sorted.
+func StoreNames() []string { return storeRegistry.names() }
+
+// ExporterByName resolves the named event-exporter factory: "jsonl",
+// "metrics", or anything added through RegisterExporter.
+func ExporterByName(name string) (ExporterFactory, error) {
+	return exporterRegistry.lookup(name)
+}
+
+// ExporterNames lists the registered exporter names, sorted.
+func ExporterNames() []string { return exporterRegistry.names() }
 
 // ExperimentProtoByName resolves a name to the harness protocol selector
 // used by ExperimentSpec ("native", "coord", "mlog", "hydee").

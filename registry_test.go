@@ -1,0 +1,180 @@
+package hydee_test
+
+// Tests for the open registries: Register* hooks, collision and
+// empty-name errors, case-insensitivity, alias deduplication in
+// listings, and snapshot-consistent behaviour under concurrent
+// registration (run with -race).
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"hydee"
+)
+
+func TestRegisterCollisionAndEmptyName(t *testing.T) {
+	if err := hydee.RegisterProtocol("", hydee.HydEE); err == nil {
+		t.Error("empty protocol name accepted")
+	}
+	if err := hydee.RegisterProtocol("   ", hydee.HydEE); err == nil {
+		t.Error("blank protocol name accepted")
+	}
+	if err := hydee.RegisterProtocol("collider", hydee.HydEE); err != nil {
+		t.Fatal(err)
+	}
+	// Same name again — and case-insensitively — must collide.
+	if err := hydee.RegisterProtocol("collider", hydee.Coordinated); err == nil {
+		t.Error("duplicate protocol name accepted")
+	}
+	if err := hydee.RegisterProtocol("COLLIDER", hydee.Coordinated); err == nil {
+		t.Error("case-variant duplicate accepted")
+	}
+	// Builtins and aliases are also protected.
+	if err := hydee.RegisterProtocol("hydee", hydee.HydEE); err == nil {
+		t.Error("builtin protocol name re-registered")
+	}
+	if err := hydee.RegisterModel("myrinet", hydee.Myrinet10G); err == nil {
+		t.Error("builtin model alias re-registered")
+	}
+	if err := hydee.RegisterProtocol("nilmk", nil); err == nil {
+		t.Error("nil constructor accepted")
+	}
+	if err := hydee.RegisterStore("nilmk", nil); err == nil {
+		t.Error("nil store factory accepted")
+	}
+	if err := hydee.RegisterExporter("nilmk", nil); err == nil {
+		t.Error("nil exporter factory accepted")
+	}
+}
+
+func TestModelNamesDedupeAliases(t *testing.T) {
+	names := hydee.ModelNames()
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	// Shorthands resolve but are not listed as if they were distinct
+	// backends.
+	for _, alias := range []string{"myrinet", "gige"} {
+		if seen[alias] {
+			t.Errorf("ModelNames lists alias %q as a backend: %v", alias, names)
+		}
+		if _, err := hydee.ModelByName(alias); err != nil {
+			t.Errorf("alias %q stopped resolving: %v", alias, err)
+		}
+	}
+	for _, canonical := range []string{"myrinet10g", "tcpgige", "ideal"} {
+		if !seen[canonical] {
+			t.Errorf("ModelNames misses canonical %q: %v", canonical, names)
+		}
+	}
+	storeNames := hydee.StoreNames()
+	for _, n := range storeNames {
+		if n == "memory" {
+			t.Errorf("StoreNames lists alias %q: %v", n, storeNames)
+		}
+	}
+}
+
+func TestUnknownNameErrorsListCanonicalFirst(t *testing.T) {
+	_, err := hydee.ModelByName("infiniband")
+	if err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	msg := err.Error()
+	canon := strings.Index(msg, "myrinet10g")
+	alias := strings.Index(msg, "aliases:")
+	if canon < 0 {
+		t.Fatalf("error does not list canonical names: %q", msg)
+	}
+	if alias >= 0 && alias < canon {
+		t.Errorf("aliases listed before canonical names: %q", msg)
+	}
+	if !strings.Contains(msg, "myrinet") || !strings.Contains(msg, "gige") {
+		t.Errorf("shorthands dropped from inventory entirely: %q", msg)
+	}
+	if _, err := hydee.StoreByName("s3", hydee.StoreOptions{}); err == nil {
+		t.Error("unknown store accepted")
+	}
+	if _, err := hydee.ExporterByName("otlp"); err == nil {
+		t.Error("unknown exporter accepted")
+	}
+}
+
+func TestConcurrentRegistration(t *testing.T) {
+	// Many goroutines race to register the same names; exactly one per
+	// name may win, listings must stay snapshot-consistent, and every
+	// winner must be resolvable afterwards. Run with -race.
+	const names, racers = 16, 8
+	var wg sync.WaitGroup
+	wins := make([][]bool, names)
+	for n := 0; n < names; n++ {
+		wins[n] = make([]bool, racers)
+		for g := 0; g < racers; g++ {
+			wg.Add(1)
+			go func(n, g int) {
+				defer wg.Done()
+				name := fmt.Sprintf("race-proto-%d", n)
+				if err := hydee.RegisterProtocol(name, hydee.HydEE); err == nil {
+					wins[n][g] = true
+				}
+				// Interleave listings and lookups with registration.
+				_ = hydee.ProtocolNames()
+				_, _ = hydee.ProtocolByName("hydee")
+			}(n, g)
+		}
+	}
+	wg.Wait()
+	listed := make(map[string]bool)
+	for _, n := range hydee.ProtocolNames() {
+		listed[n] = true
+	}
+	for n := 0; n < names; n++ {
+		won := 0
+		for _, w := range wins[n] {
+			if w {
+				won++
+			}
+		}
+		if won != 1 {
+			t.Errorf("name race-proto-%d: %d registrations succeeded, want exactly 1", n, won)
+		}
+		name := fmt.Sprintf("race-proto-%d", n)
+		if !listed[name] {
+			t.Errorf("winner %q missing from ProtocolNames", name)
+		}
+		if p, err := hydee.ProtocolByName(name); err != nil || p == nil {
+			t.Errorf("winner %q not resolvable: %v", name, err)
+		}
+	}
+}
+
+func TestParseStoreSpec(t *testing.T) {
+	cases := []struct {
+		spec   string
+		name   string
+		shards int
+		ok     bool
+	}{
+		{"mem", "mem", 0, true},
+		{"sharded:4", "sharded", 4, true},
+		{"sharded:1", "sharded", 1, true},
+		{"sharded:0", "", 0, false},
+		{"sharded:-2", "", 0, false},
+		{"sharded:x", "", 0, false},
+		{"", "", 0, false},
+		{":4", "", 0, false},
+	}
+	for _, tc := range cases {
+		name, shards, err := hydee.ParseStoreSpec(tc.spec)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseStoreSpec(%q): err = %v, want ok=%v", tc.spec, err, tc.ok)
+			continue
+		}
+		if tc.ok && (name != tc.name || shards != tc.shards) {
+			t.Errorf("ParseStoreSpec(%q) = %q/%d, want %q/%d", tc.spec, name, shards, tc.name, tc.shards)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package hydee_test
+
+// First step of the ROADMAP "scale the sweep executor" item: a 1024-rank
+// HydEE smoke workload (the supervisor loop's single-event-channel
+// design is the suspected bottleneck at this scale; the matching
+// micro-benchmark lives in internal/mpi). Skipped under -short.
+
+import (
+	"context"
+	"testing"
+
+	"hydee"
+)
+
+// TestHydEESmoke1024 runs HydEE at np=1024 (32 clusters of 32) through a
+// checkpoint, a failure and a recovery round, and checks the protocol's
+// containment claim holds at scale: exactly one cluster rolls back.
+func TestHydEESmoke1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("np=1024 smoke workload skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("np=1024 smoke workload skipped under the race detector (~25x slower, no added coverage)")
+	}
+	const np, clusterSize = 1024, 32
+	assign := make([]int, np)
+	for r := range assign {
+		assign[r] = r / clusterSize
+	}
+	eng, err := hydee.New(
+		hydee.WithTopology(hydee.NewTopology(assign)),
+		hydee.WithProtocol(hydee.HydEE()),
+		hydee.WithCheckpointEvery(2),
+		hydee.WithFailureEvents(hydee.FailureEvent{
+			Ranks: []int{np / 2}, When: hydee.FailureTrigger{AfterCheckpoints: 1},
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), hydee.StencilProgram(4, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds = %+v, want exactly 1", res.Rounds)
+	}
+	if rb := res.Rounds[0].RolledBack; rb != clusterSize {
+		t.Errorf("rolled back %d ranks, want the failed cluster only (%d): containment broke at scale", rb, clusterSize)
+	}
+	if got := len(res.Results); got != np {
+		t.Errorf("%d rank results, want %d", got, np)
+	}
+	if res.Totals.Checkpoints < int64(np) {
+		t.Errorf("only %d checkpoints at np=%d; schedule did not fire", res.Totals.Checkpoints, np)
+	}
+}

@@ -1,0 +1,125 @@
+package hydee
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hydee/internal/checkpoint"
+)
+
+// Stable-storage extension surface. Store is the contract checkpoint
+// backends implement; third-party implementations plug in through
+// WithStore (one pinned instance) or RegisterStore + WithStoreName (a
+// fresh store per run). Custom stores carry determinism obligations —
+// the runtime admits saves in virtual-time order, and a store's reported
+// completion times must be a pure function of that admission order; see
+// DESIGN.md "Extension points".
+type (
+	// Store is stable storage for checkpoints: Save/Load with modeled
+	// completion times, LatestSeq per rank, aggregate Stats.
+	Store = checkpoint.Store
+	// Snapshot is one process checkpoint (process image, protocol
+	// state, buffered in-transit messages), with accessors EncodedSize,
+	// CostBytes and Clone.
+	Snapshot = checkpoint.Snapshot
+	// StoreStats aggregates store activity (saves, bytes, loads, worst
+	// virtual-time write backlog).
+	StoreStats = checkpoint.StoreStats
+)
+
+// StoreOptions parameterizes a named store factory. A factory reads the
+// fields it understands and rejects values it cannot honor where
+// silently ignoring them would mislead (the built-in "mem" and "file"
+// factories reject Shards > 1 — asking an unsharded backend to shard is
+// a misconfiguration, not a default).
+type StoreOptions struct {
+	// WriteBPS / ReadBPS model storage bandwidth in bytes/second:
+	// aggregate for "mem" and "file", per shard for "sharded". 0 means
+	// free (untimed) storage.
+	WriteBPS, ReadBPS float64
+	// Shards is the shard count of a "sharded" store (values < 1 mean
+	// one shard).
+	Shards int
+	// Placement maps a rank to its shard (reduced modulo Shards); nil
+	// defaults to per-cluster placement when the run has a topology
+	// (ClusterPlacement) and round-robin otherwise.
+	Placement func(rank int) int
+	// Dir is the directory of a "file" store.
+	Dir string
+}
+
+// StoreFactory builds a Store from options — the common constructor
+// signature RegisterStore expects. Each call must return a fresh,
+// independent store.
+type StoreFactory func(StoreOptions) (Store, error)
+
+func memStoreFactory(o StoreOptions) (Store, error) {
+	if o.Shards > 1 {
+		return nil, fmt.Errorf(`hydee: store "mem" does not shard (got Shards=%d); use "sharded"`, o.Shards)
+	}
+	return checkpoint.NewMemStore(o.WriteBPS, o.ReadBPS), nil
+}
+
+func fileStoreFactory(o StoreOptions) (Store, error) {
+	if o.Shards > 1 {
+		return nil, fmt.Errorf(`hydee: store "file" does not shard (got Shards=%d); use "sharded"`, o.Shards)
+	}
+	if o.Dir == "" {
+		return nil, fmt.Errorf(`hydee: store "file" needs StoreOptions.Dir`)
+	}
+	return checkpoint.NewFileStore(o.Dir, o.WriteBPS, o.ReadBPS)
+}
+
+func shardedStoreFactory(o StoreOptions) (Store, error) {
+	return checkpoint.NewShardedStore(o.Shards, o.WriteBPS, o.ReadBPS, o.Placement), nil
+}
+
+// NewMemStore builds an in-memory store with a shared write/read
+// bandwidth model (zero disables timing) — the default backend.
+func NewMemStore(writeBPS, readBPS float64) Store {
+	return checkpoint.NewMemStore(writeBPS, readBPS)
+}
+
+// NewFileStore builds a store persisting snapshots as files under dir.
+func NewFileStore(dir string, writeBPS, readBPS float64) (Store, error) {
+	return checkpoint.NewFileStore(dir, writeBPS, readBPS)
+}
+
+// NewShardedStore builds a store of n independent in-memory shards, each
+// with its own bandwidth-contention window: checkpoints on different
+// shards never queue behind each other. place maps rank to shard (nil =
+// round-robin); use ClusterPlacement to give each cluster its own
+// storage target.
+func NewShardedStore(n int, writeBPS, readBPS float64, place func(rank int) int) Store {
+	return checkpoint.NewShardedStore(n, writeBPS, readBPS, place)
+}
+
+// ClusterPlacement places each rank on the shard of its cluster (cluster
+// id modulo shards): the clusters that checkpoint together — and would
+// otherwise burst on one shared link — land on distinct storage targets.
+func ClusterPlacement(t *Topology, shards int) func(rank int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	return func(rank int) int { return t.ClusterOf[rank] % shards }
+}
+
+// ParseStoreSpec splits a -store flag value of the form "name" or
+// "name:shards" ("sharded:4") into the registry name and shard count
+// (0 when the spec names none).
+func ParseStoreSpec(spec string) (name string, shards int, err error) {
+	name, sh, ok := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", 0, fmt.Errorf("hydee: empty store spec %q", spec)
+	}
+	if !ok {
+		return name, 0, nil
+	}
+	shards, err = strconv.Atoi(strings.TrimSpace(sh))
+	if err != nil || shards < 1 {
+		return "", 0, fmt.Errorf("hydee: store spec %q: shard count must be a positive integer", spec)
+	}
+	return name, shards, nil
+}

@@ -1,0 +1,206 @@
+package hydee_test
+
+// Tests for the public Store surface: WithStore pinning across engine
+// reuse, WithStoreName per-run isolation with default per-cluster
+// placement, third-party Store implementations, and the typed
+// ErrCheckpointLost path through a custom store.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"hydee"
+)
+
+// trackingStore is a third-party Store implementation: it delegates to a
+// built-in backend and counts operations.
+type trackingStore struct {
+	hydee.Store
+	saves, loads atomic.Int64
+}
+
+func (st *trackingStore) Save(s *hydee.Snapshot, at hydee.Time) (hydee.Time, error) {
+	st.saves.Add(1)
+	return st.Store.Save(s, at)
+}
+
+func (st *trackingStore) Load(rank, seq int, at hydee.Time) (*hydee.Snapshot, hydee.Time, bool) {
+	st.loads.Add(1)
+	return st.Store.Load(rank, seq, at)
+}
+
+// amnesiacStore announces sequences it cannot load — the condition the
+// runtime must surface as ErrCheckpointLost instead of silently
+// restarting from the initial state.
+type amnesiacStore struct{ hydee.Store }
+
+func (st amnesiacStore) Load(rank, seq int, at hydee.Time) (*hydee.Snapshot, hydee.Time, bool) {
+	return nil, at, false
+}
+
+// failingEngineOpts configures a 2-cluster run whose rank 2 fails after
+// its second checkpoint: by then every cluster member has completed
+// sequence 1, so the recovery round is guaranteed to restore from a
+// stored snapshot (exercising Load) rather than the initial state.
+func failingEngineOpts(extra ...hydee.Option) []hydee.Option {
+	opts := []hydee.Option{
+		hydee.WithTopology(hydee.NewTopology([]int{0, 0, 1, 1})),
+		hydee.WithProtocol(hydee.HydEE()),
+		hydee.WithCheckpointEvery(2),
+		hydee.WithFailureEvents(hydee.FailureEvent{
+			Ranks: []int{2}, When: hydee.FailureTrigger{AfterCheckpoints: 2},
+		}),
+	}
+	return append(opts, extra...)
+}
+
+// TestEngineReuseWithPinnedStore reuses one engine with one WithStore
+// store across sequential failure-and-recovery runs: results must stay
+// bit-identical run over run (reruns of the same program overwrite the
+// same sequences rather than diverging), and the pinned third-party
+// store must see every run's traffic.
+func TestEngineReuseWithPinnedStore(t *testing.T) {
+	pinned := &trackingStore{Store: hydee.NewMemStore(1e9, 1e9)}
+	// CheckpointEvery(1) drives run 1's sequences well past the store's
+	// GC horizon (historyKeep), so this also regresses the streak-reset
+	// rule: without it, run 2's restarted low sequences would be pruned
+	// against run 1's high-water mark and the rerun would abort with
+	// ErrCheckpointLost.
+	eng, err := hydee.New(failingEngineOpts(
+		hydee.WithStore(pinned),
+		hydee.WithCheckpointEvery(1),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := hydee.StencilProgram(8, 4096)
+	ctx := context.Background()
+	first, err := eng.Run(ctx, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Rounds) != 1 {
+		t.Fatalf("rounds = %+v, want 1", first.Rounds)
+	}
+	savesAfterFirst := pinned.saves.Load()
+	if savesAfterFirst == 0 || pinned.loads.Load() == 0 {
+		t.Fatalf("pinned store unused: saves=%d loads=%d", savesAfterFirst, pinned.loads.Load())
+	}
+	for i := 0; i < 2; i++ {
+		res, err := eng.Run(ctx, prog)
+		if err != nil {
+			t.Fatalf("reuse run %d: %v", i, err)
+		}
+		if len(res.Rounds) != 1 {
+			t.Fatalf("reuse run %d: rounds = %+v", i, res.Rounds)
+		}
+		for r := range res.Results {
+			if res.Results[r] != first.Results[r] {
+				t.Errorf("reuse run %d: rank %d digest diverged with pinned store", i, r)
+			}
+		}
+	}
+	if got := pinned.saves.Load(); got <= savesAfterFirst {
+		t.Errorf("pinned store not reused: %d saves after 3 runs, %d after 1", got, savesAfterFirst)
+	}
+}
+
+// TestWithStoreNameFreshPerRun shows the registry path keeps sequential
+// runs isolated: each Run builds a fresh store, so a run never observes
+// the previous run's snapshots.
+func TestWithStoreNameFreshPerRun(t *testing.T) {
+	var built []*trackingStore
+	name := "fresh-per-run-test"
+	if err := hydee.RegisterStore(name, func(o hydee.StoreOptions) (hydee.Store, error) {
+		st := &trackingStore{Store: hydee.NewMemStore(o.WriteBPS, o.ReadBPS)}
+		built = append(built, st)
+		return st, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := hydee.New(failingEngineOpts(hydee.WithStoreName(name, hydee.StoreOptions{}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := hydee.StencilProgram(8, 4096)
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Run(context.Background(), prog); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if len(built) != 2 {
+		t.Fatalf("factory built %d stores over 2 runs, want a fresh store per run", len(built))
+	}
+	if built[0] == built[1] {
+		t.Fatal("same store instance reused across runs")
+	}
+}
+
+// TestWithStoreNameUnknown verifies name resolution fails at option time.
+func TestWithStoreNameUnknown(t *testing.T) {
+	_, err := hydee.New(
+		hydee.WithRanks(2),
+		hydee.WithStoreName("glacier", hydee.StoreOptions{}),
+	)
+	if err == nil {
+		t.Fatal("unknown store name accepted")
+	}
+}
+
+// TestWithStoreNameShardedClusterPlacement checks the engine defaults a
+// sharded store to per-cluster placement: with per-shard bandwidth, two
+// clusters checkpointing simultaneously into 2 shards see no cross-shard
+// queueing (MaxQueue stays below what one shared link of the same
+// bandwidth produces).
+func TestWithStoreNameShardedClusterPlacement(t *testing.T) {
+	run := func(opts ...hydee.Option) hydee.StoreStats {
+		t.Helper()
+		base := []hydee.Option{
+			hydee.WithTopology(hydee.NewTopology([]int{0, 0, 1, 1})),
+			hydee.WithProtocol(hydee.HydEE()),
+			hydee.WithCheckpointEvery(2),
+		}
+		eng, err := hydee.New(append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(context.Background(), hydee.StencilProgram(8, 1<<16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StoreStats
+	}
+	const bps = 5e8
+	shared := run(hydee.WithStorageBandwidth(bps, bps))
+	sharded := run(hydee.WithStoreName("sharded", hydee.StoreOptions{Shards: 2, WriteBPS: bps, ReadBPS: bps}))
+	if shared.Saves != sharded.Saves || shared.SavedBytes != sharded.SavedBytes {
+		t.Errorf("store traffic differs: shared %+v vs sharded %+v", shared, sharded)
+	}
+	if sharded.MaxQueue >= shared.MaxQueue {
+		t.Errorf("cluster-placed shards should relieve the burst: sharded MaxQueue %v >= shared %v",
+			sharded.MaxQueue, shared.MaxQueue)
+	}
+}
+
+// TestCheckpointLostTyped drives the ErrCheckpointLost path through a
+// third-party store: the store announces checkpoints it cannot load, and
+// the recovery round must abort with a typed *RunError instead of
+// silently restarting from the initial state.
+func TestCheckpointLostTyped(t *testing.T) {
+	eng, err := hydee.New(failingEngineOpts(
+		hydee.WithStore(amnesiacStore{hydee.NewMemStore(0, 0)}),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(context.Background(), hydee.StencilProgram(8, 4096))
+	if !errors.Is(err, hydee.ErrCheckpointLost) {
+		t.Fatalf("want ErrCheckpointLost, got %v", err)
+	}
+	var re *hydee.RunError
+	if !errors.As(err, &re) || re.Phase != hydee.PhaseRecovery {
+		t.Errorf("want *RunError in phase %q, got %#v", hydee.PhaseRecovery, err)
+	}
+}
