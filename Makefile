@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test test-short race determinism vet lint fmt-check check
+.PHONY: all build test test-short race determinism profile vet lint fmt-check check
 
 all: check
 
@@ -20,9 +20,21 @@ race:
 # Determinism gate: run the experiment-facing determinism regressions twice
 # under the race detector — every makespan, recovery stat and sweep output
 # must be byte-identical run-to-run (see DESIGN.md "Concurrency and
-# determinism").
+# determinism"). Includes the virtual-time kill-fence configurations: a
+# failure landing mid-checkpoint-wave under a storage bandwidth model,
+# exact-tie kill stamps, two victims in one round, a failure during an
+# in-progress recovery round, and the blocked-scope-peer drain (the naive
+# pre-kill drain deadlock regression).
 determinism:
-	$(GO) test -race -count=2 -run 'Reproducible|ByteStable|SchedulingIndependent|AwaitTurn' ./internal/harness/ ./internal/transport/
+	$(GO) test -race -count=2 -run 'Reproducible|ByteStable|SchedulingIndependent|AwaitTurn' ./internal/harness/ ./internal/transport/ ./internal/mpi/
+
+# CPU profile of the np=1024 HydEE smoke workload — the first step of the
+# "profile a 1024-rank run end-to-end" roadmap item. Leaves cpu.prof and
+# the test binary hydee-mpi.test; inspect with
+#   go tool pprof hydee-mpi.test cpu.prof
+profile:
+	$(GO) test -run 'TestHydEESmoke1024' -count=1 -cpuprofile cpu.prof -o hydee-smoke.test .
+	@echo "profile written to cpu.prof; open with: go tool pprof hydee-smoke.test cpu.prof"
 
 vet:
 	$(GO) vet ./...

@@ -25,10 +25,13 @@ func main() {
 	net := flag.String("net", "myrinet10g", "network model for the traces ("+strings.Join(hydee.ModelNames(), ", ")+"); clustering output is model-independent — rows derive from payload byte counts only")
 	par := flag.Int("par", 0, "parallel traces (0 = one per CPU)")
 	showAssign := flag.Bool("assign", false, "print the per-rank cluster assignment")
-	events := flag.String("events", "", "stream run lifecycle events to this file")
+	events := flag.String("events", "", "stream run lifecycle events to this file, or one file per run when the path is a directory (trailing slash or existing dir)")
 	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
 	flag.Parse()
 
+	if *np <= 0 || *iters <= 0 {
+		log.Fatalf("hydee-cluster: -np and -iters must be positive (got %d, %d)", *np, *iters)
+	}
 	model, err := hydee.ModelByName(*net)
 	if err != nil {
 		log.Fatal(err)
@@ -37,7 +40,7 @@ func main() {
 	defer stop()
 	if *events != "" {
 		var closeEvents func() error
-		ctx, closeEvents, err = hydee.StreamEventsToFile(ctx, *exporter, *events)
+		ctx, closeEvents, err = hydee.StreamEvents(ctx, *exporter, *events)
 		if err != nil {
 			log.Fatal(err)
 		}

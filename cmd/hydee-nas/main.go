@@ -30,10 +30,13 @@ func main() {
 	proto := flag.String("proto", "mlog", "comparator protocol: "+strings.Join(hydee.ProtocolNames(), ", "))
 	net := flag.String("net", "myrinet10g", "network model: "+strings.Join(hydee.ModelNames(), ", "))
 	par := flag.Int("par", 0, "parallel runs in the sweep (0 = one per CPU)")
-	events := flag.String("events", "", "stream run lifecycle events to this file")
+	events := flag.String("events", "", "stream run lifecycle events to this file, or one file per run when the path is a directory (trailing slash or existing dir)")
 	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
 	flag.Parse()
 
+	if *np <= 0 || *iters <= 0 || *traceIters <= 0 {
+		log.Fatalf("hydee-nas: -np, -iters and -trace-iters must be positive (got %d, %d, %d)", *np, *iters, *traceIters)
+	}
 	comparator, err := hydee.ExperimentProtoByName(*proto)
 	if err != nil {
 		log.Fatal(err)
@@ -46,7 +49,7 @@ func main() {
 	defer stop()
 	if *events != "" {
 		var closeEvents func() error
-		ctx, closeEvents, err = hydee.StreamEventsToFile(ctx, *exporter, *events)
+		ctx, closeEvents, err = hydee.StreamEvents(ctx, *exporter, *events)
 		if err != nil {
 			log.Fatal(err)
 		}

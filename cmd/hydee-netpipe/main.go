@@ -26,10 +26,13 @@ import (
 func main() {
 	reps := flag.Int("reps", 10, "round trips per message size")
 	net := flag.String("net", "myrinet10g", "network model: "+strings.Join(hydee.ModelNames(), ", "))
-	events := flag.String("events", "", "stream run lifecycle events to this file")
+	events := flag.String("events", "", "stream run lifecycle events to this file, or one file per run when the path is a directory (trailing slash or existing dir)")
 	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
 	flag.Parse()
 
+	if *reps <= 0 {
+		log.Fatalf("hydee-netpipe: -reps must be positive (got %d)", *reps)
+	}
 	model, err := hydee.ModelByName(*net)
 	if err != nil {
 		log.Fatal(err)
@@ -38,7 +41,7 @@ func main() {
 	defer stop()
 	if *events != "" {
 		var closeEvents func() error
-		ctx, closeEvents, err = hydee.StreamEventsToFile(ctx, *exporter, *events)
+		ctx, closeEvents, err = hydee.StreamEvents(ctx, *exporter, *events)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -32,14 +32,18 @@ func main() {
 	app := flag.String("app", "cg", "kernel (bt,cg,ft,lu,mg,sp)")
 	ckpt := flag.Int("ckpt", 3, "checkpoint every k iterations")
 	failAfter := flag.Int("fail-after", 1, "inject the failure after this many checkpoints")
+	failAt := flag.String("fail-at", "", `inject the failure at a trigger spec instead of -fail-after: "vt:<duration>" (a virtual time — the kill is an ordered virtual-time event, so even a mid-checkpoint-wave landing is byte-reproducible), "sends:<n>" or "ckpts:<n>"`)
 	net := flag.String("net", "myrinet10g", "network model: "+strings.Join(hydee.ModelNames(), ", "))
 	storeSpec := flag.String("store", "mem", "checkpoint store, name[:shards] over "+strings.Join(hydee.StoreNames(), ", ")+" (e.g. sharded:4)")
 	storeBPS := flag.Float64("store-bps", 0, "stable-storage bandwidth in bytes/second per store link (0 = free)")
 	storeDir := flag.String("store-dir", "", `snapshot directory for -store file (runs reuse it; same-sequence files are overwritten)`)
-	events := flag.String("events", "", "stream run lifecycle events to this file")
+	events := flag.String("events", "", "stream run lifecycle events to this file, or one file per run when the path is a directory (trailing slash or existing dir)")
 	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
 	flag.Parse()
 
+	if *np <= 0 || *iters <= 0 || *ckpt <= 0 {
+		log.Fatalf("hydee-recover: -np, -iters and -ckpt must be positive (got %d, %d, %d)", *np, *iters, *ckpt)
+	}
 	k, err := apps.Get(*app)
 	if err != nil {
 		log.Fatal(err)
@@ -47,6 +51,29 @@ func main() {
 	model, err := hydee.ModelByName(*net)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Failure flags are validated eagerly with a typed error listing the
+	// valid forms, like the -store probe below — a typo must fail at
+	// startup, not yield a silently failure-free sweep.
+	failWhen := hydee.FailureTrigger{AfterCheckpoints: *failAfter}
+	if *failAt != "" {
+		// The E4 experiment fixes its victim at rank np/2, so -fail-at
+		// takes only the trigger; a spec naming ranks would be silently
+		// ignored and is rejected instead.
+		if strings.Contains(*failAt, "@") {
+			log.Fatalf("hydee-recover: -fail-at %q: the E4 victim is fixed at rank np/2; give only the trigger (e.g. vt:1.5ms), without @ranks", *failAt)
+		}
+		events, err := hydee.ParseFailureSpec(*failAt + "@0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(events) != 1 {
+			log.Fatalf("hydee-recover: -fail-at wants exactly one trigger, got %d events", len(events))
+		}
+		failWhen = events[0].When
+	}
+	if err := failWhen.Validate(); err != nil {
+		log.Fatalf("hydee-recover: %v (valid -fail-at forms: %s)", err, hydee.FailureSpecForms)
 	}
 	storeName, shards, err := hydee.ParseStoreSpec(*storeSpec)
 	if err != nil {
@@ -73,7 +100,7 @@ func main() {
 	defer stop()
 	if *events != "" {
 		var closeEvents func() error
-		ctx, closeEvents, err = hydee.StreamEventsToFile(ctx, *exporter, *events)
+		ctx, closeEvents, err = hydee.StreamEvents(ctx, *exporter, *events)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -91,7 +118,7 @@ func main() {
 	fmt.Printf("%s on %d ranks: %d clusters, %.2f%% logged, %.2f%% expected rollback (store %s)\n\n",
 		*app, *np, cl.K, 100*cl.CutFrac, 100*cl.ExpRollback, *storeSpec)
 
-	rows, err := harness.ContainmentCtx(ctx, k, *np, *iters, *ckpt, cl.Assign, *failAfter, model, newStore)
+	rows, err := harness.ContainmentCtx(ctx, k, *np, *iters, *ckpt, cl.Assign, failWhen, model, newStore)
 	if err != nil {
 		log.Fatal(err)
 	}

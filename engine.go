@@ -34,6 +34,9 @@ type Engine struct {
 	// was given (and no WithStore pinned one).
 	storeMake StoreFactory
 	storeOpts StoreOptions
+	// failAt accumulates WithFailureAt events; New appends them to the
+	// configured failure schedule.
+	failAt []FailureEvent
 }
 
 // Option configures an Engine. Options apply in the order given to New;
@@ -55,6 +58,13 @@ func New(opts ...Option) (*Engine, error) {
 	}
 	if e.cfg.NP == 0 && e.cfg.Topo != nil {
 		e.cfg.NP = e.cfg.Topo.NP
+	}
+	if len(e.failAt) > 0 {
+		var events []FailureEvent
+		if e.cfg.Failures != nil {
+			events = append(events, e.cfg.Failures.Events...)
+		}
+		e.cfg.Failures = NewFailureSchedule(append(events, e.failAt...)...)
 	}
 	if err := mpi.Validate(e.cfg); err != nil {
 		return nil, err
@@ -198,6 +208,31 @@ func WithFailures(s *FailureSchedule) Option {
 // WithFailureEvents is shorthand for WithFailures(NewFailureSchedule(...)).
 func WithFailureEvents(events ...FailureEvent) Option {
 	return WithFailures(NewFailureSchedule(events...))
+}
+
+// WithFailureAt schedules a fail-stop event at a virtual time: the listed
+// ranks die together when the first one's virtual clock reaches at. The
+// kill is an ordered event in virtual time — in-flight deliveries and
+// checkpoint writes at or below the detection fence complete, later ones
+// are cancelled — so the run's outcome is byte-reproducible wherever the
+// failure lands, including mid-checkpoint-wave under a storage bandwidth
+// model. Repeated WithFailureAt options accumulate into one schedule (in
+// option order); combining with WithFailures appends to that schedule
+// regardless of option order.
+func WithFailureAt(at Time, ranks ...int) Option {
+	return func(e *Engine) error {
+		if at <= 0 {
+			return fmt.Errorf("hydee: WithFailureAt(%v): virtual time must be positive", at)
+		}
+		if len(ranks) == 0 {
+			return fmt.Errorf("hydee: WithFailureAt(%v): need at least one victim rank", at)
+		}
+		e.failAt = append(e.failAt, FailureEvent{
+			Ranks: append([]int(nil), ranks...),
+			When:  FailureTrigger{AtVT: at},
+		})
+		return nil
+	}
 }
 
 // WithObserver streams structured lifecycle events (checkpoints, failures,

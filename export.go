@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -35,6 +37,7 @@ type ExporterFactory func(w io.Writer) Exporter
 // one compact record.
 type jsonlEvent struct {
 	Kind  string `json:"kind"`
+	Run   int64  `json:"run,omitempty"`
 	VT    int64  `json:"vt"`
 	Rank  int    `json:"rank"`
 	Ranks []int  `json:"ranks,omitempty"`
@@ -65,6 +68,7 @@ func NewJSONLExporter(w io.Writer) Exporter {
 func (x *jsonlExporter) OnEvent(ev RunEvent) {
 	rec := jsonlEvent{
 		Kind:  ev.Kind.String(),
+		Run:   ev.Run,
 		VT:    int64(ev.VT),
 		Rank:  ev.Rank,
 		Ranks: ev.Ranks,
@@ -161,6 +165,115 @@ func (x *metricsExporter) Close() error {
 		return fmt.Errorf("hydee: metrics exporter: %w", err)
 	}
 	return nil
+}
+
+// runDirExporter fans events out to one inner exporter per observed run,
+// each writing its own file — parallel sweep output split per run instead
+// of fan-in interleaved.
+type runDirExporter struct {
+	dir string
+	mk  ExporterFactory
+
+	mu     sync.Mutex
+	runs   map[int64]*runSink
+	closed bool
+	err    error
+}
+
+type runSink struct {
+	f   *os.File
+	exp Exporter
+}
+
+// NewRunDirExporter creates (if needed) dir and returns an exporter that
+// writes every observed run's events to its own file run-<id>.jsonl,
+// each driven by an inner exporter built by mk. Run ids are assigned in
+// run-start order, so a serial sweep's files are numbered in spec order;
+// a parallel sweep's files map to configurations via the events they
+// contain. Close flushes and closes every per-run file.
+func NewRunDirExporter(dir string, mk ExporterFactory) (Exporter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("hydee: run-dir exporter: %w", err)
+	}
+	return &runDirExporter{dir: dir, mk: mk, runs: make(map[int64]*runSink)}, nil
+}
+
+// OnEvent implements Observer: the event is routed to its run's file,
+// created on first sight of the run id. The shared lock covers only the
+// routing table — concurrent runs' writes go to independent files through
+// their own (internally synchronized) inner exporters, so a parallel
+// sweep's event streams don't contend on one lock.
+func (x *runDirExporter) OnEvent(ev RunEvent) {
+	x.mu.Lock()
+	if x.err != nil || x.closed {
+		x.mu.Unlock()
+		return
+	}
+	sink, ok := x.runs[ev.Run]
+	if !ok {
+		f, err := os.Create(filepath.Join(x.dir, fmt.Sprintf("run-%05d.jsonl", ev.Run)))
+		if err != nil {
+			x.err = fmt.Errorf("hydee: run-dir exporter: %w", err)
+			x.mu.Unlock()
+			return
+		}
+		sink = &runSink{f: f, exp: x.mk(f)}
+		x.runs[ev.Run] = sink
+	}
+	x.mu.Unlock()
+	sink.exp.OnEvent(ev)
+}
+
+// Close implements Exporter: every per-run exporter is closed and its
+// file flushed; the first error wins. Events arriving after Close are
+// dropped — recreating a run's file would truncate what was written.
+func (x *runDirExporter) Close() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.closed = true
+	err := x.err
+	for _, sink := range x.runs {
+		if e := sink.exp.Close(); e != nil && err == nil {
+			err = e
+		}
+		if e := sink.f.Close(); e != nil && err == nil {
+			err = fmt.Errorf("hydee: run-dir exporter: %w", e)
+		}
+	}
+	x.runs = make(map[int64]*runSink)
+	return err
+}
+
+// StreamEvents wires the named exporter to path and returns a context
+// carrying it as the ambient observer: a path ending in a separator, or
+// naming an existing directory, gets one file per run (StreamEventsToDir);
+// anything else is a single fan-in file (StreamEventsToFile). This is the
+// wiring behind the cmd binaries' -events flags.
+func StreamEvents(ctx context.Context, exporterName, path string) (context.Context, func() error, error) {
+	if strings.HasSuffix(path, string(os.PathSeparator)) || strings.HasSuffix(path, "/") {
+		return StreamEventsToDir(ctx, exporterName, path)
+	}
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		return StreamEventsToDir(ctx, exporterName, path)
+	}
+	return StreamEventsToFile(ctx, exporterName, path)
+}
+
+// StreamEventsToDir creates dir, builds one named registered exporter per
+// run over its own run-<id>.jsonl file, and returns a context that
+// streams every run's lifecycle events to it, so a parallel sweep's
+// output is dissectable per run. The returned function closes all per-run
+// files; call it once the sweep is done.
+func StreamEventsToDir(ctx context.Context, exporterName, dir string) (context.Context, func() error, error) {
+	mk, err := ExporterByName(exporterName)
+	if err != nil {
+		return ctx, nil, err
+	}
+	exp, err := NewRunDirExporter(dir, mk)
+	if err != nil {
+		return ctx, nil, err
+	}
+	return ContextWithObserver(ctx, exp), exp.Close, nil
 }
 
 // StreamEventsToFile creates path, builds the named registered exporter

@@ -153,3 +153,98 @@ func TestContextObserverComposes(t *testing.T) {
 		t.Errorf("own observer saw %d events, context observer %d; want equal and nonzero", own, viaCtx)
 	}
 }
+
+// TestStreamEventsToDirSplitsPerRun drives a parallel sweep through a
+// run-dir exporter and checks each run's lifecycle lands in its own file,
+// internally consistent (one run id, run-start through run-complete).
+func TestStreamEventsToDirSplitsPerRun(t *testing.T) {
+	dir := t.TempDir()
+	ctx, closeEvents, err := hydee.StreamEventsToDir(context.Background(), "jsonl", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]hydee.ExperimentSpec, 3)
+	for i := range specs {
+		k, kerr := hydee.KernelByName("cg")
+		if kerr != nil {
+			t.Fatal(kerr)
+		}
+		specs[i] = hydee.ExperimentSpec{Kernel: k, Params: hydee.KernelParams{NP: 8, Iters: 2 + i}, Proto: hydee.ProtoNative}
+	}
+	if _, err := hydee.RunExperiments(ctx, specs, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeEvents(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "run-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(specs) {
+		t.Fatalf("got %d per-run files, want %d: %v", len(files), len(specs), files)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runIDs := map[float64]bool{}
+		kinds := map[string]int{}
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		for sc.Scan() {
+			var rec map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				t.Fatalf("%s: bad line %q: %v", f, sc.Text(), err)
+			}
+			id, _ := rec["run"].(float64)
+			runIDs[id] = true
+			kinds[rec["kind"].(string)]++
+		}
+		if len(runIDs) != 1 {
+			t.Errorf("%s: events of %d runs interleaved in one file", f, len(runIDs))
+		}
+		if kinds["run-start"] != 1 || kinds["run-complete"] != 1 {
+			t.Errorf("%s: run boundaries %v", f, kinds)
+		}
+	}
+}
+
+// TestStreamEventsAutoDetectsDirectory checks the -events flag wiring: a
+// trailing separator selects per-run files, a plain path one fan-in file.
+func TestStreamEventsAutoDetectsDirectory(t *testing.T) {
+	base := t.TempDir()
+	ctx, closeEvents, err := hydee.StreamEvents(context.Background(), "jsonl", filepath.Join(base, "events")+string(os.PathSeparator))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := hydee.New(hydee.WithRanks(4), hydee.WithModel(hydee.IdealNetwork()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(ctx, hydee.RingProgram(2, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeEvents(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(base, "events", "run-*.jsonl"))
+	if len(files) != 1 {
+		t.Fatalf("dir mode produced %d files, want 1", len(files))
+	}
+
+	plain := filepath.Join(base, "flat.jsonl")
+	ctx2, closeEvents2, err := hydee.StreamEvents(context.Background(), "jsonl", plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(ctx2, hydee.RingProgram(2, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeEvents2(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(plain); err != nil {
+		t.Fatalf("file mode: %v", err)
+	}
+}

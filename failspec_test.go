@@ -1,0 +1,144 @@
+package hydee_test
+
+import (
+	"errors"
+	"testing"
+
+	"hydee"
+)
+
+func TestParseFailureSpec(t *testing.T) {
+	events, err := hydee.ParseFailureSpec("vt:1.5ms@3; sends:10@0,7; ckpts:2@8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0].When.AtVT != hydee.Time(1500*1000) {
+		t.Errorf("vt trigger = %v, want 1.5ms", events[0].When.AtVT)
+	}
+	if got := events[1].Ranks; len(got) != 2 || got[0] != 0 || got[1] != 7 {
+		t.Errorf("ranks = %v, want [0 7]", got)
+	}
+	if events[1].When.AfterSends != 10 || events[2].When.AfterCheckpoints != 2 {
+		t.Errorf("triggers = %+v %+v", events[1].When, events[2].When)
+	}
+	if ev, err := hydee.ParseFailureSpec(""); err != nil || ev != nil {
+		t.Errorf("empty spec: %v %v", ev, err)
+	}
+}
+
+func TestParseFailureSpecTypedErrors(t *testing.T) {
+	for _, spec := range []string{
+		"vt:1.5ms",    // no ranks
+		"later@3",     // no trigger kind
+		"vt:-3ms@1",   // negative duration
+		"vt:soon@1",   // unparsable duration
+		"sends:0@1",   // non-positive count
+		"ckpts:two@1", // unparsable count
+		"epoch:5@1",   // unknown kind
+		"vt:1ms@x",    // bad rank
+		"vt:1ms@1;;",  // empty event
+		"vt:1ms@-2",   // negative rank
+	} {
+		_, err := hydee.ParseFailureSpec(spec)
+		var se *hydee.FailureSpecError
+		if !errors.As(err, &se) {
+			t.Errorf("spec %q: got %v, want *FailureSpecError", spec, err)
+			continue
+		}
+		if se.Spec == "" || se.Reason == "" {
+			t.Errorf("spec %q: error misses context: %+v", spec, se)
+		}
+	}
+}
+
+func TestValidateFailureEventsRange(t *testing.T) {
+	events, err := hydee.ParseFailureSpec("vt:1ms@7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hydee.ValidateFailureEvents(events, 8); err != nil {
+		t.Errorf("rank 7 of 8 rejected: %v", err)
+	}
+	if err := hydee.ValidateFailureEvents(events, 4); err == nil {
+		t.Error("rank 7 of 4 accepted")
+	}
+}
+
+// TestWithFailureAtInjectsAtVirtualTime drives the option end to end: the
+// failure fires once the victim's clock passes the given virtual time and
+// the cluster recovers.
+func TestWithFailureAtInjectsAtVirtualTime(t *testing.T) {
+	eng, err := hydee.New(
+		hydee.WithTopology(hydee.NewTopology([]int{0, 0, 1, 1})),
+		hydee.WithProtocol(hydee.HydEE()),
+		hydee.WithModel(hydee.IdealNetwork()),
+		hydee.WithFailureAt(hydee.Time(150*hydee.Microsecond), 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(c *hydee.Comm) error {
+		for i := 0; i < 3; i++ {
+			if err := c.Compute(100 * hydee.Microsecond); err != nil {
+				return err
+			}
+		}
+		c.SetResult(c.Rank())
+		return nil
+	}
+	res, err := eng.Run(t.Context(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds %d, want 1", len(res.Rounds))
+	}
+	if res.Rounds[0].StartVT < hydee.Time(150*hydee.Microsecond) {
+		t.Errorf("detection VT %v before the scheduled time", res.Rounds[0].StartVT)
+	}
+	if res.Totals.Restarts != 2 {
+		t.Errorf("restarts %d, want the 2 ranks of cluster 1", res.Totals.Restarts)
+	}
+}
+
+// TestWithFailureAtAccumulates checks the schedule assembly: repeated
+// WithFailureAt options append, and they compose with WithFailures.
+func TestWithFailureAtAccumulates(t *testing.T) {
+	eng, err := hydee.New(
+		hydee.WithRanks(8),
+		hydee.WithProtocol(hydee.HydEE()),
+		hydee.WithTopology(hydee.Singletons(8)),
+		hydee.WithFailures(hydee.NewFailureSchedule(
+			hydee.FailureEvent{Ranks: []int{0}, When: hydee.FailureTrigger{AfterSends: 5}},
+		)),
+		hydee.WithFailureAt(hydee.Time(hydee.Millisecond), 2),
+		hydee.WithFailureAt(hydee.Time(2*hydee.Millisecond), 4, 6),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := eng.Config().Failures.Events
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3 (WithFailures + 2x WithFailureAt)", len(events))
+	}
+	if events[1].When.AtVT != hydee.Time(hydee.Millisecond) || len(events[2].Ranks) != 2 {
+		t.Errorf("accumulated events wrong: %+v", events)
+	}
+}
+
+func TestWithFailureAtValidation(t *testing.T) {
+	if _, err := hydee.New(hydee.WithRanks(2), hydee.WithFailureAt(0, 1)); err == nil {
+		t.Error("accepted non-positive virtual time")
+	}
+	if _, err := hydee.New(hydee.WithRanks(2), hydee.WithFailureAt(hydee.Time(hydee.Millisecond))); err == nil {
+		t.Error("accepted empty victim list")
+	}
+	// Range errors surface at New, not at the first run.
+	if _, err := hydee.New(hydee.WithRanks(2), hydee.WithProtocol(hydee.HydEE()),
+		hydee.WithFailureAt(hydee.Time(hydee.Millisecond), 5)); err == nil {
+		t.Error("accepted out-of-range victim rank")
+	}
+}

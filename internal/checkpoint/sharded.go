@@ -1,6 +1,14 @@
 package checkpoint
 
-import "hydee/internal/vtime"
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hydee/internal/vtime"
+)
 
 // ShardedStore distributes snapshots over several independent backends.
 // Each shard models its own bandwidth-contention window, so checkpoints
@@ -39,11 +47,79 @@ func NewShardedStore(n int, writeBPS, readBPS float64, place func(rank int) int)
 // NewShardedOver shards over caller-supplied backends (mixing memory- and
 // file-backed shards is fine). It panics on zero shards — a sharded store
 // with nothing behind it is a programming error, not a runtime condition.
+// Persistent backends recover their own contents on construction (a
+// FileStore rebuilds its latest-sequence index from the files it finds),
+// so a sharded store reopened over the same backends resumes where it
+// left off; NewShardedFileStore packages that into a directory-layout
+// convention.
 func NewShardedOver(place func(rank int) int, shards ...Store) *ShardedStore {
 	if len(shards) == 0 {
 		panic("checkpoint: NewShardedOver needs at least one shard")
 	}
 	return &ShardedStore{place: place, shards: shards}
+}
+
+// shardDirFmt is the directory-layout convention of a file-backed sharded
+// store: shard i lives in <dir>/shard-<i> (three digits, so listings sort
+// numerically up to 1000 shards).
+const shardDirFmt = "shard-%03d"
+
+// NewShardedFileStore builds (or reopens) a sharded store persisted under
+// dir with one FileStore per shard, laid out as dir/shard-000,
+// dir/shard-001, ... — the durable variant of NewShardedStore. On reopen,
+// n may be zero to infer the shard count from the existing layout; a
+// non-zero n that contradicts the directory's shard count is an error
+// (placement is static, so re-sharding silently would route ranks to the
+// wrong snapshots). Each shard recovers its latest-sequence index from
+// its files, so restarts and GC resume correctly across reopens.
+func NewShardedFileStore(dir string, n int, writeBPS, readBPS float64, place func(rank int) int) (*ShardedStore, error) {
+	existing, err := shardDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case n < 1 && len(existing) == 0:
+		return nil, fmt.Errorf("checkpoint: sharded file store %s: no existing shards and no shard count given", dir)
+	case n < 1:
+		n = len(existing)
+	case len(existing) > 0 && len(existing) != n:
+		return nil, fmt.Errorf("checkpoint: sharded file store %s holds %d shards, asked for %d (placement is static; reopen with the original count)",
+			dir, len(existing), n)
+	}
+	shards := make([]Store, n)
+	for i := range shards {
+		st, err := NewFileStore(filepath.Join(dir, fmt.Sprintf(shardDirFmt, i)), writeBPS, readBPS)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = st
+	}
+	return NewShardedOver(place, shards...), nil
+}
+
+// shardDirs lists the shard subdirectories present under dir, verifying
+// they form the contiguous shard-000..shard-(k-1) convention.
+func shardDirs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		if want := fmt.Sprintf(shardDirFmt, i); name != want {
+			return nil, fmt.Errorf("checkpoint: sharded file store %s: found %q, want contiguous %q", dir, name, want)
+		}
+	}
+	return names, nil
 }
 
 // shardOf resolves the rank's shard index.

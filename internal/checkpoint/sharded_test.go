@@ -1,6 +1,9 @@
 package checkpoint
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"hydee/internal/vtime"
@@ -152,5 +155,59 @@ func TestShardedOverMixedBackends(t *testing.T) {
 	s, _, ok := st.Load(1, 1, 0)
 	if !ok || len(s.AppState) != 1 || s.AppState[0] != 1 {
 		t.Fatalf("file-backed shard load: ok=%v snap=%+v", ok, s)
+	}
+}
+
+// TestShardedFileStoreReopenRoundTrip checks the durable layout: snapshots
+// saved through a sharded file store survive a reopen — with the shard
+// count inferred from the shard-NNN directories — and route back to the
+// same shards.
+func TestShardedFileStoreReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	place := func(rank int) int { return rank % 3 }
+	st, err := NewShardedFileStore(dir, 3, 0, 0, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 6; r++ {
+		for seq := 1; seq <= 2; seq++ {
+			snap := shardSnap(r, seq, 0)
+			snap.AppState = []byte{byte(r), byte(seq)}
+			if _, err := st.Save(snap, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("shard-%03d", i))); err != nil {
+			t.Fatalf("layout convention: %v", err)
+		}
+	}
+
+	// Reopen with the count inferred from the layout.
+	re, err := NewShardedFileStore(dir, 0, 0, 0, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumShards() != 3 {
+		t.Fatalf("reopen inferred %d shards, want 3", re.NumShards())
+	}
+	for r := 0; r < 6; r++ {
+		if got := re.LatestSeq(r); got != 2 {
+			t.Errorf("rank %d: LatestSeq after reopen = %d, want 2", r, got)
+		}
+		s, _, ok := re.Load(r, 2, 0)
+		if !ok || len(s.AppState) != 2 || s.AppState[0] != byte(r) {
+			t.Errorf("rank %d: reopen load: ok=%v snap=%+v", r, ok, s)
+		}
+	}
+
+	// A contradicting shard count must be rejected: placement is static.
+	if _, err := NewShardedFileStore(dir, 5, 0, 0, place); err == nil {
+		t.Error("reopen with a different shard count accepted")
+	}
+	// A fresh directory without a count is meaningless.
+	if _, err := NewShardedFileStore(t.TempDir(), 0, 0, 0, nil); err == nil {
+		t.Error("empty dir with no shard count accepted")
 	}
 }

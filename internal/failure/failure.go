@@ -9,6 +9,7 @@
 package failure
 
 import (
+	"fmt"
 	"sync"
 
 	"hydee/internal/vtime"
@@ -45,6 +46,59 @@ type Schedule struct {
 // NewSchedule builds a schedule from events.
 func NewSchedule(events ...Event) *Schedule {
 	return &Schedule{Events: events}
+}
+
+// Validate reports whether every event is well formed for a run of np
+// ranks: at least one victim, victims within [0, np), and exactly one
+// positive trigger condition. The runtime validates eagerly at
+// configuration time — a mistyped rank or an empty trigger would
+// otherwise just never fire and silently produce a failure-free run.
+func (s *Schedule) Validate(np int) error {
+	for i, ev := range s.Events {
+		if len(ev.Ranks) == 0 {
+			return fmt.Errorf("failure: event %d: no victim ranks", i)
+		}
+		for _, r := range ev.Ranks {
+			if r < 0 || r >= np {
+				return fmt.Errorf("failure: event %d: victim rank %d outside [0,%d)", i, r, np)
+			}
+		}
+		if err := ev.When.Validate(); err != nil {
+			return fmt.Errorf("failure: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Validate reports whether exactly one trigger condition is set with a
+// positive value.
+func (t Trigger) Validate() error {
+	set := 0
+	if t.AtVT != 0 {
+		if t.AtVT < 0 {
+			return fmt.Errorf("failure: AtVT must be positive, got %v", t.AtVT)
+		}
+		set++
+	}
+	if t.AfterSends != 0 {
+		if t.AfterSends < 0 {
+			return fmt.Errorf("failure: AfterSends must be positive, got %d", t.AfterSends)
+		}
+		set++
+	}
+	if t.AfterCheckpoints != 0 {
+		if t.AfterCheckpoints < 0 {
+			return fmt.Errorf("failure: AfterCheckpoints must be positive, got %d", t.AfterCheckpoints)
+		}
+		set++
+	}
+	if set == 0 {
+		return fmt.Errorf("failure: trigger sets no condition (want exactly one of AtVT, AfterSends, AfterCheckpoints)")
+	}
+	if set > 1 {
+		return fmt.Errorf("failure: trigger sets %d conditions (want exactly one of AtVT, AfterSends, AfterCheckpoints)", set)
+	}
+	return nil
 }
 
 // Injector tracks progress and decides when a process must die. It is safe

@@ -128,6 +128,36 @@ func TestE5StoreContentionReproducible(t *testing.T) {
 	}
 }
 
+// TestMidWaveFailureReproducible is the kill-fence regression: the failure
+// fires right after the victim's own checkpoint write completes, while its
+// scope peers' writes are still queued on the shared-bandwidth store — the
+// configuration whose restored sequence (and everything downstream) used to
+// depend on the real-time race between the kill and the queued saves. With
+// the three-step virtual-time kill protocol (declare at the detection
+// fence, drain, then kill) every observable must be byte-identical
+// run-to-run for each protocol.
+func TestMidWaveFailureReproducible(t *testing.T) {
+	k, err := apps.Get("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := cgAssign(t)
+	for _, proto := range []Proto{ProtoCoord, ProtoMLog, ProtoHydEE} {
+		sum := runTwice(t, Spec{
+			Kernel: k, Params: apps.Params{NP: 16, Iters: 8},
+			Proto: proto, Assign: assign, CheckpointEvery: 3,
+			StoreWriteBPS: 2e9, StoreReadBPS: 2e9,
+			Failures: failure.NewSchedule(failure.Event{
+				Ranks: []int{8},
+				When:  failure.Trigger{AfterCheckpoints: 1},
+			}),
+		})
+		if len(sum.Rounds) != 1 {
+			t.Errorf("%s: expected 1 recovery round, got %d", proto, len(sum.Rounds))
+		}
+	}
+}
+
 // TestRunAllByteStableAcrossParallelism sweeps failure and checkpoint specs
 // — the runs whose makespans used to vary — through RunAll at different
 // parallelism levels and asserts the summaries are byte-identical.

@@ -263,19 +263,22 @@ type E4Row struct {
 // fault-tolerant protocol and measures how far it spreads. Results are
 // also validated against the failure-free digests.
 func Containment(k apps.Kernel, np, iters, ckptEvery int, assign []int, failAfterCkpts int) ([]E4Row, error) {
-	return ContainmentCtx(context.Background(), k, np, iters, ckptEvery, assign, failAfterCkpts, nil, nil)
+	return ContainmentCtx(context.Background(), k, np, iters, ckptEvery, assign,
+		failure.Trigger{AfterCheckpoints: failAfterCkpts}, nil, nil)
 }
 
-// ContainmentCtx is Containment with a context, an explicit network
+// ContainmentCtx is Containment with a context, an arbitrary failure
+// trigger for the victim (rank np/2) — an AtVT trigger injects at a
+// virtual time, including mid-checkpoint-wave — an explicit network
 // model (nil = Myrinet10G) and an explicit checkpoint-store constructor
 // (nil = a fresh free in-memory store per run; the constructor sees each
 // run's topology so sharded stores can place clusters).
-func ContainmentCtx(ctx context.Context, k apps.Kernel, np, iters, ckptEvery int, assign []int, failAfterCkpts int, model netmodel.Model, newStore func(*rollback.Topology) checkpoint.Store) ([]E4Row, error) {
+func ContainmentCtx(ctx context.Context, k apps.Kernel, np, iters, ckptEvery int, assign []int, failWhen failure.Trigger, model netmodel.Model, newStore func(*rollback.Topology) checkpoint.Store) ([]E4Row, error) {
 	var rows []E4Row
 	sched := func() *failure.Schedule {
 		return failure.NewSchedule(failure.Event{
 			Ranks: []int{np / 2},
-			When:  failure.Trigger{AfterCheckpoints: failAfterCkpts},
+			When:  failWhen,
 		})
 	}
 	for _, proto := range []Proto{ProtoCoord, ProtoMLog, ProtoHydEE} {

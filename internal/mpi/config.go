@@ -101,6 +101,11 @@ func (cfg *Config) normalize() error {
 	if cfg.Protocol == nil {
 		cfg.Protocol = rollback.Native()
 	}
+	if cfg.Failures != nil {
+		if err := cfg.Failures.Validate(cfg.NP); err != nil {
+			return err
+		}
+	}
 	if cfg.Store == nil {
 		cfg.Store = checkpoint.NewMemStore(0, 0)
 	}

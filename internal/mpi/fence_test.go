@@ -1,0 +1,280 @@
+package mpi_test
+
+// End-to-end tests of the virtual-time kill fence: failure rounds declare
+// the scope dead at the detection timestamp, drain in-flight work at or
+// below the fence, and only then kill — so the restored checkpoint
+// sequence, the rolled-back incarnations' traffic and the recovery stats
+// are byte-reproducible wherever the failure lands, including exact ties
+// with queued checkpoint writes and failures overlapping a recovery round.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hydee/internal/apps"
+	"hydee/internal/checkpoint"
+	"hydee/internal/core"
+	"hydee/internal/failure"
+	"hydee/internal/mpi"
+	"hydee/internal/netmodel"
+	"hydee/internal/rollback"
+	"hydee/internal/vtime"
+)
+
+// runFenced executes cfg/prog twice with fresh failure schedules and fails
+// unless the two results are indistinguishable — makespan, rounds, totals,
+// per-rank metrics, traffic matrices, store stats and digests.
+func runFenced(t *testing.T, cfg mpi.Config, prog mpi.Program) *mpi.Result {
+	t.Helper()
+	run := func() *mpi.Result {
+		c := cfg
+		if cfg.Failures != nil {
+			c.Failures = failure.NewSchedule(cfg.Failures.Events...)
+		}
+		if cfg.Store != nil {
+			// Stores accumulate state; each run builds its own of the same
+			// shape via the spec below.
+			t.Fatal("runFenced: use cfg.Store == nil and storeBPS instead")
+		}
+		res, err := mpi.Run(c, prog)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan {
+		t.Errorf("makespan not reproducible: %v vs %v", a.Makespan, b.Makespan)
+	}
+	if !reflect.DeepEqual(a.Rounds, b.Rounds) {
+		t.Errorf("recovery stats not reproducible:\n  %+v\n  %+v", a.Rounds, b.Rounds)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("results differ beyond makespan/rounds:\n  %+v\n  %+v", a, b)
+	}
+	return a
+}
+
+// TestExactTieQueuedSaveKillReproducible pins the boundary of the fence: a
+// failure detected at exactly the virtual time a scope peer's checkpoint
+// write was issued must let that write complete ("at or below the fence"),
+// so the whole cluster restores from the new sequence rather than racing
+// between sequence 1 and the initial state.
+func TestExactTieQueuedSaveKillReproducible(t *testing.T) {
+	// Ranks 0,1 form cluster A, ranks 2,3 cluster B; the ideal model makes
+	// every virtual stamp hand-computable (1ns minimum latency). All ranks
+	// compute 100ns and checkpoint: markers merge the cluster clocks to
+	// 101, so every save is issued at exactly VT 101. Rank 2 (cluster B)
+	// fails at the post-save injection point of its first checkpoint, i.e.
+	// at detection VT 101 — the exact issue VT of rank 3's queued save.
+	cfg := mpi.Config{
+		NP:              4,
+		Topo:            rollback.NewTopology([]int{0, 0, 1, 1}),
+		Protocol:        core.New(),
+		Model:           netmodel.Ideal(),
+		CheckpointEvery: 1,
+		Failures: failure.NewSchedule(failure.Event{
+			Ranks: []int{2},
+			When:  failure.Trigger{AtVT: vtime.Time(101)},
+		}),
+		Watchdog: 30 * time.Second,
+	}
+	prog := func(c *mpi.Comm) error {
+		st := &struct{ Iter int }{}
+		if _, err := c.Restore(st); err != nil {
+			return err
+		}
+		for st.Iter < 2 {
+			if err := c.Compute(100 * vtime.Nanosecond); err != nil {
+				return err
+			}
+			st.Iter++
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		c.SetResult(st.Iter)
+		return nil
+	}
+	res := runFenced(t, cfg, prog)
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds %d, want 1", len(res.Rounds))
+	}
+	if res.Rounds[0].StartVT != 101 {
+		t.Fatalf("detection VT %v, want the exact-tie stamp 101", res.Rounds[0].StartVT)
+	}
+	// Both cluster-B saves were issued at the fence and must have
+	// completed: the cluster restores from sequence 1 (two snapshot
+	// loads), not from the initial state.
+	if res.StoreStats.Loads != 2 {
+		t.Fatalf("restore loaded %d snapshots, want 2 (cluster B from seq 1)", res.StoreStats.Loads)
+	}
+	for r, v := range res.Results {
+		if v != 2 {
+			t.Fatalf("rank %d result %v, want 2 iterations", r, v)
+		}
+	}
+}
+
+// TestTwoVictimsOneRoundReproducible kills two ranks of different clusters
+// in one concurrent failure event, mid-checkpoint-wave under a storage
+// bandwidth model, and asserts the round and everything downstream are
+// byte-stable.
+func TestTwoVictimsOneRoundReproducible(t *testing.T) {
+	assign := []int{0, 0, 1, 1, 2, 2}
+	cfg := mpi.Config{
+		NP:              6,
+		Topo:            rollback.NewTopology(assign),
+		Protocol:        core.New(),
+		Model:           netmodel.Myrinet10G(),
+		CheckpointEvery: 2,
+		Failures: failure.NewSchedule(failure.Event{
+			Ranks: []int{2, 4},
+			When:  failure.Trigger{AfterCheckpoints: 1},
+		}),
+		Watchdog: 30 * time.Second,
+	}
+	mkStore := func() checkpoint.Store { return checkpoint.NewMemStore(2e9, 2e9) }
+	clean := runStoreBacked(t, cfg, mkStore, apps.Stencil2D(8, 4096), false)
+	failed := runStoreBacked(t, cfg, mkStore, apps.Stencil2D(8, 4096), true)
+	if len(failed.Rounds) != 1 {
+		t.Fatalf("rounds %d, want 1 (two victims, one concurrent event)", len(failed.Rounds))
+	}
+	if failed.Rounds[0].RolledBack != 4 {
+		t.Fatalf("rolled back %d ranks, want the 4 of clusters 1 and 2", failed.Rounds[0].RolledBack)
+	}
+	for r := range clean.Results {
+		if clean.Results[r] != failed.Results[r] {
+			t.Fatalf("rank %d diverged after recovery: %v vs %v", r, clean.Results[r], failed.Results[r])
+		}
+	}
+}
+
+// TestFailureDuringRecoveryReproducible injects a second failure whose
+// detection lands while the first round's recovery is still in flight
+// (disjoint clusters) and asserts both rounds and the final state are
+// byte-stable: the queued round's fence is declared at detection, so its
+// scope cannot race ahead while the active round completes.
+func TestFailureDuringRecoveryReproducible(t *testing.T) {
+	assign := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	base := mpi.Config{
+		NP:              12,
+		Topo:            rollback.NewTopology(assign),
+		Protocol:        core.New(),
+		Model:           netmodel.Myrinet10G(),
+		CheckpointEvery: 3,
+		Watchdog:        30 * time.Second,
+	}
+	prog := apps.Stencil2D(10, 8192)
+
+	// Probe: run with only the first failure to locate round 0's span,
+	// then aim the second failure's trigger inside it.
+	first := failure.Event{Ranks: []int{2}, When: failure.Trigger{AfterCheckpoints: 1}}
+	probeCfg := base
+	probeCfg.Failures = failure.NewSchedule(first)
+	probe := runStoreBacked(t, probeCfg, func() checkpoint.Store { return checkpoint.NewMemStore(2e9, 2e9) }, prog, true)
+	if len(probe.Rounds) != 1 {
+		t.Fatalf("probe rounds %d, want 1", len(probe.Rounds))
+	}
+	r0 := probe.Rounds[0]
+	midVT := r0.StartVT.Add(r0.EndVT.Sub(r0.StartVT) / 2)
+
+	cfg := base
+	cfg.Failures = failure.NewSchedule(first, failure.Event{
+		Ranks: []int{9},
+		When:  failure.Trigger{AtVT: midVT},
+	})
+	failed := runStoreBacked(t, cfg, func() checkpoint.Store { return checkpoint.NewMemStore(2e9, 2e9) }, prog, true)
+	if len(failed.Rounds) != 2 {
+		t.Fatalf("rounds %d, want 2", len(failed.Rounds))
+	}
+	if s := failed.Rounds[1].StartVT; s >= r0.EndVT {
+		t.Fatalf("second failure detected at %v, after round 0 ended (%v) — the rounds did not overlap", s, r0.EndVT)
+	}
+	clean := runStoreBacked(t, base, func() checkpoint.Store { return checkpoint.NewMemStore(2e9, 2e9) }, prog, false)
+	for r := range clean.Results {
+		if clean.Results[r] != failed.Results[r] {
+			t.Fatalf("rank %d diverged after overlapping rounds: %v vs %v", r, clean.Results[r], failed.Results[r])
+		}
+	}
+}
+
+// TestBlockedScopePeerDrainReproducible is the naive-drain deadlock
+// regression: the victim dies before sending the message its cluster peer
+// is blocked on. Draining the plane to the detection time must reap the
+// blocked peer (victim-aware bounds) instead of letting it pin the plane
+// until the watchdog fires.
+func TestBlockedScopePeerDrainReproducible(t *testing.T) {
+	cfg := mpi.Config{
+		NP:       3,
+		Topo:     rollback.NewTopology([]int{0, 0, 1}),
+		Protocol: core.New(),
+		Model:    netmodel.Myrinet10G(),
+		Failures: failure.NewSchedule(failure.Event{
+			Ranks: []int{0},
+			When:  failure.Trigger{AfterSends: 1},
+		}),
+		// Short watchdog: a deadlocked drain fails fast and loudly.
+		Watchdog: 10 * time.Second,
+	}
+	prog := func(c *mpi.Comm) error {
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(1, 1, []byte("one")); err != nil {
+				return err
+			}
+			// The injector fires here on the first incarnation: rank 1
+			// never gets the second message and blocks on its dead peer.
+			if err := c.Compute(vtime.Microsecond); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []byte("two"))
+		case 1:
+			if _, _, err := c.Recv(0, 1); err != nil {
+				return err
+			}
+			d, _, err := c.Recv(0, 2)
+			if err != nil {
+				return err
+			}
+			c.SetResult(string(d))
+			return nil
+		default:
+			return c.Compute(vtime.Microsecond)
+		}
+	}
+	res := runFenced(t, cfg, prog)
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds %d, want 1", len(res.Rounds))
+	}
+	if res.Results[1] != "two" {
+		t.Fatalf("rank 1 got %v, want the replayed second message", res.Results[1])
+	}
+}
+
+// runStoreBacked runs cfg with a fresh store per run; when twice is true it
+// runs two times and asserts byte-identical results first.
+func runStoreBacked(t *testing.T, cfg mpi.Config, mkStore func() checkpoint.Store, prog mpi.Program, twice bool) *mpi.Result {
+	t.Helper()
+	run := func() *mpi.Result {
+		c := cfg
+		c.Store = mkStore()
+		if cfg.Failures != nil {
+			c.Failures = failure.NewSchedule(cfg.Failures.Events...)
+		}
+		res, err := mpi.Run(c, prog)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+	a := run()
+	if twice {
+		b := run()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("results not byte-stable:\n  %+v\n  %+v", a, b)
+		}
+	}
+	return a
+}

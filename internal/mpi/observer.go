@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"hydee/internal/rollback"
 	"hydee/internal/vtime"
@@ -63,6 +64,11 @@ func (k EventKind) String() string {
 // Event is one structured lifecycle event.
 type Event struct {
 	Kind EventKind
+	// Run identifies the run that emitted the event: unique within the
+	// process, assigned in run-start order. A context observer shared by
+	// a parallel sweep sees several runs' events interleaved; Run is what
+	// lets a sink demultiplex them (e.g. one output file per run).
+	Run int64
 	// VT is the virtual time the event was observed at.
 	VT vtime.Time
 	// Rank is the emitting rank (EvCheckpoint, EvRankFinished), -1
@@ -137,16 +143,22 @@ func NewLogObserver(w io.Writer) Observer {
 }
 
 // observerMux serializes concurrent emissions (rank goroutines emit
-// checkpoints while the supervisor emits round events).
+// checkpoints while the supervisor emits round events) and stamps every
+// event with the owning run's id.
 type observerMux struct {
-	mu  sync.Mutex
-	obs Observer
+	mu    sync.Mutex
+	obs   Observer
+	runID int64
 }
+
+// runIDs hands out process-unique run identifiers in run-start order.
+var runIDs atomic.Int64
 
 func (m *observerMux) emit(ev Event) {
 	if m == nil || m.obs == nil {
 		return
 	}
+	ev.Run = m.runID
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.obs.OnEvent(ev)

@@ -362,18 +362,20 @@ func (p *Proc) checkpointCall() error {
 	}
 	// Stable-storage admission is ordered in virtual time: the write is
 	// issued only once no other live process can still act earlier, so the
-	// store's shared-bandwidth queue builds up in a deterministic order.
-	if err := p.rt.net.AwaitTurn(p.rank, p.clock.Now()); err != nil {
+	// store's shared-bandwidth queue builds up in a deterministic order. A
+	// doomed process is granted the turn only for writes issued at or
+	// below its death fence; later ones are cancelled with ErrKilled, so
+	// the set of completed saves is a pure function of virtual time.
+	issueVT := p.clock.Now()
+	if err := p.rt.net.AwaitTurn(p.rank, issueVT); err != nil {
 		return err
 	}
-	endVT, err := p.rt.store.Save(snap, p.clock.Now())
+	endVT, err := p.rt.store.Save(snap, issueVT)
 	if err != nil {
 		return err
 	}
 	p.rt.mu.Lock()
-	if seq > p.rt.ckptDone[p.rank] {
-		p.rt.ckptDone[p.rank] = seq
-	}
+	p.rt.ckptDone[p.rank] = append(p.rt.ckptDone[p.rank], savePoint{seq: seq, vt: issueVT})
 	p.rt.mu.Unlock()
 	p.clock.MergeAtLeast(endVT)
 	p.publish()

@@ -40,12 +40,23 @@ type Runtime struct {
 	rounds   []rollback.RecoveryStats
 	wg       sync.WaitGroup
 	roundSeq int
-	// ckptDone[rank] is the newest checkpoint sequence THIS run completed
-	// for rank (guarded by mu). Restores consult it rather than the
-	// store's LatestSeq so a store pinned across several runs (engine
-	// WithStore) can never leak a previous run's sequences into this
-	// run's restart scope.
-	ckptDone []int
+	// ckptDone[rank] lists the checkpoint writes THIS run completed for
+	// rank, with the virtual time each write was issued at (guarded by
+	// mu). Restores consult it rather than the store's LatestSeq for two
+	// reasons: a store pinned across several runs (engine WithStore) can
+	// never leak a previous run's sequences into this run's restart
+	// scope, and a failure round restores from the newest sequence issued
+	// at or below its detection fence — a save that completed in real
+	// time but was issued past the fence never enters the restart scope,
+	// so the restored sequence is a pure function of virtual time.
+	ckptDone [][]savePoint
+}
+
+// savePoint records one completed checkpoint write: the sequence saved and
+// the virtual time the write was issued (admitted by Network.AwaitTurn) at.
+type savePoint struct {
+	seq int
+	vt  vtime.Time
 }
 
 type evKind int
@@ -96,7 +107,7 @@ func RunContext(ctx context.Context, cfg Config, program Program) (*Result, erro
 		prot:     cfg.Protocol,
 		store:    cfg.Store,
 		rec:      cfg.Recorder,
-		obs:      &observerMux{obs: cfg.Observer},
+		obs:      &observerMux{obs: cfg.Observer, runID: runIDs.Add(1)},
 		program:  program,
 		net:      transport.NewNetwork(cfg.NP, cfg.Model),
 		evCh:     make(chan procEvent, 4*cfg.NP+16),
@@ -104,7 +115,7 @@ func RunContext(ctx context.Context, cfg Config, program Program) (*Result, erro
 		metrics:  make([]rollback.Metrics, cfg.NP),
 		results:  make([]any, cfg.NP),
 		finalVT:  make([]vtime.Time, cfg.NP),
-		ckptDone: make([]int, cfg.NP),
+		ckptDone: make([][]savePoint, cfg.NP),
 	}
 	if cfg.Failures != nil {
 		rt.inj = failure.NewInjector(cfg.Failures)
@@ -155,11 +166,37 @@ func (rt *Runtime) startProc(rank int, snap *checkpoint.Snapshot, round *rollbac
 	go p.run()
 }
 
-// roundState tracks an in-flight failure round.
+// roundState tracks an in-flight failure round through its three steps:
+// declared (scope doomed at the detection fence, recovery endpoint
+// attached), draining (waitingDeath non-empty: doomed goroutines finish
+// their pre-fence work and unwind), and recovering (scope killed, restored
+// and the recovery coordinator running).
 type roundState struct {
 	info         rollback.RoundInfo
 	waitingDeath map[int]bool
 	recovering   bool
+	// startVT is the virtual time the round's restore and recovery
+	// coordinator start at: one network hop after the detection time, or
+	// — when this round chains directly behind another — one hop after
+	// the previous round's end, so no stamp this round produces can
+	// undercut a delivery the previous round's execution already
+	// admitted.
+	startVT vtime.Time
+}
+
+// insertPending inserts ev keeping the queue ordered by (detection VT,
+// first victim): queued failure rounds begin in virtual-time order, not in
+// the real-time order their evFail events happened to reach the
+// supervisor's channel.
+func insertPending(q []procEvent, ev procEvent) []procEvent {
+	i := len(q)
+	for i > 0 && (q[i-1].vt > ev.vt || (q[i-1].vt == ev.vt && q[i-1].ranks[0] > ev.ranks[0])) {
+		i--
+	}
+	q = append(q, procEvent{})
+	copy(q[i+1:], q[i:])
+	q[i] = ev
+	return q
 }
 
 func (rt *Runtime) supervise(ctx context.Context) error {
@@ -209,10 +246,10 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 					return runErr(-1, -1, PhaseSupervise,
 						fmt.Errorf("protocol %q cannot tolerate the injected failure of ranks %v", rt.prot.Name(), ev.ranks))
 				}
-				pendingFails = append(pendingFails, ev)
+				pendingFails = insertPending(pendingFails, ev)
 				if cur == nil {
 					var err error
-					cur, err = rt.beginKill(pendingFails[0], finished, &finCount, deadEarly)
+					cur, err = rt.beginRound(pendingFails[0], 0, finished, &finCount, deadEarly)
 					if err != nil {
 						rt.abort()
 						return err
@@ -224,13 +261,31 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 						return runErr(-1, curRound(), PhaseSupervise,
 							fmt.Errorf("more than MaxRounds=%d recovery rounds", rt.cfg.MaxRounds))
 					}
+				} else {
+					// The round is queued behind the active one, but its
+					// fence is declared immediately: scope members outside
+					// the active round stop deterministically at the
+					// detection time instead of running ahead until the
+					// queued round begins. Ranks shared with the active
+					// round are mid-kill/restart and are fenced when their
+					// round starts (see the DESIGN.md overlap caveat).
+					for _, r := range rt.prot.RestartScope(rt.topo, ev.ranks) {
+						if !cur.info.Includes(r) {
+							rt.net.Doom(r, ev.vt)
+						}
+					}
 				}
 
 			case evDied:
 				if cur != nil && cur.waitingDeath[ev.rank] {
 					delete(cur.waitingDeath, ev.rank)
+					// The goroutine has unwound; nothing at or below the
+					// fence remains in flight for it. Stop the delivery
+					// gate from waiting on its stale frontier while the
+					// rest of the scope drains.
+					rt.net.Quiesce(ev.rank)
 					if len(cur.waitingDeath) == 0 && !cur.recovering {
-						if err := rt.launchRound(cur); err != nil {
+						if err := rt.killAndLaunch(cur); err != nil {
 							rt.abort()
 							return err
 						}
@@ -254,8 +309,15 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 				rt.mu.Unlock()
 				cur = nil
 				if len(pendingFails) > 0 {
+					// Chain the queued round directly behind the one that
+					// just ended: its coordinator and restores start one
+					// network hop after the previous round's end, so no
+					// stamp it produces can undercut a delivery admitted
+					// while the previous round ran — the recovery endpoint
+					// stays attached throughout, with no unconstrained
+					// window in between.
 					var err error
-					cur, err = rt.beginKill(pendingFails[0], finished, &finCount, deadEarly)
+					cur, err = rt.beginRound(pendingFails[0], ev.stats.EndVT.Add(rt.net.MinLatency()), finished, &finCount, deadEarly)
 					if err != nil {
 						rt.abort()
 						return err
@@ -267,6 +329,10 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 						return runErr(-1, curRound(), PhaseSupervise,
 							fmt.Errorf("more than MaxRounds=%d recovery rounds", rt.cfg.MaxRounds))
 					}
+				} else {
+					// No round follows: detach the recovery endpoint, which
+					// falls back to being the plane's latent failure source.
+					rt.net.Quiesce(rt.cfg.NP)
 				}
 			}
 
@@ -276,10 +342,14 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 
 		case <-watchdog.C:
 			plane := rt.net.DebugState()
+			waiting := ""
+			if cur != nil {
+				waiting = fmt.Sprintf(", round %d waiting on deaths %v, recovering %v", cur.info.Round, cur.waitingDeath, cur.recovering)
+			}
 			rt.abort()
 			return runErr(-1, curRound(), PhaseSupervise,
-				fmt.Errorf("%w: no supervisor event for %v (deadlock or overlapping failures; %d/%d finished, round active: %v)\ndelivery plane:\n%s",
-					ErrDeadlock, watchdogDur, finCount, np, cur != nil, plane))
+				fmt.Errorf("%w: no supervisor event for %v (deadlock or overlapping failures; %d/%d finished, round active: %v%s)\ndelivery plane:\n%s",
+					ErrDeadlock, watchdogDur, finCount, np, cur != nil, waiting, plane))
 		}
 	}
 
@@ -296,10 +366,14 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 	return nil
 }
 
-// beginKill starts a failure round: computes the restart scope, kills every
-// scope member, and waits (via evDied events) for their goroutines to
-// unwind before restarting them.
-func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadEarly map[int]bool) (*roundState, error) {
+// beginRound starts a failure round with the declare step of the
+// three-step virtual-time kill protocol: it computes the restart scope,
+// dooms every scope member at the detection fence (in-flight deliveries
+// and checkpoint writes at or below the fence complete; anything later is
+// cancelled deterministically), and waits (via evDied events) for the
+// doomed goroutines to drain and unwind before killing and restarting
+// them in killAndLaunch.
+func (rt *Runtime) beginRound(ev procEvent, chainVT vtime.Time, finished []bool, finCount *int, deadEarly map[int]bool) (*roundState, error) {
 	scope := rt.prot.RestartScope(rt.topo, ev.ranks)
 	info := rollback.RoundInfo{
 		Round:          rt.roundSeq,
@@ -309,20 +383,28 @@ func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadE
 	}
 	rt.roundSeq++
 	rt.obs.emit(Event{Kind: EvRecoveryStart, Rank: -1, Round: info.Round, Ranks: info.RolledBack, VT: ev.vt})
-	// Attach the recovery endpoint before the first kill: from the moment
+	startVT := rt.recoveryVT(info.DetectVT)
+	if chainVT > startVT {
+		startVT = chainVT
+	}
+	// Attach the recovery endpoint before the first doom: from the moment
 	// the scope's frontiers stop constraining the delivery gate, the
 	// recovery actor's must, or survivors could deliver post-detection
-	// stamps the recovery round has yet to undercut. AttachAt (not
-	// Publish) because this round's detection time may precede the virtual
+	// stamps the recovery round has yet to undercut. The attach point is
+	// one minimum-latency hop after the detection time — the round's
+	// control traffic is stamped there (the detection propagates to the
+	// coordinator over the network) — so the recovery's own bound never
+	// holds doomed scope peers' drain at the fence itself; a chained round
+	// starts after the previous round's end instead (chainVT). AttachAt
+	// (not Publish) because this round's start may precede the virtual
 	// time the previous round's recovery finished at.
-	rt.net.AttachAt(rt.cfg.NP, info.DetectVT)
-	rs := &roundState{info: info, waitingDeath: make(map[int]bool, len(scope))}
+	rt.net.AttachAt(rt.cfg.NP, startVT)
+	rs := &roundState{info: info, startVT: startVT, waitingDeath: make(map[int]bool, len(scope))}
 	for _, r := range scope {
 		rs.waitingDeath[r] = true
 	}
 	for _, r := range scope {
-		inc := rt.net.Kill(r)
-		rs.info.Incs = append(rs.info.Incs, inc)
+		rt.net.Doom(r, info.DetectVT)
 		if finished[r] {
 			finished[r] = false
 			*finCount--
@@ -332,13 +414,25 @@ func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadE
 			delete(rs.waitingDeath, r)
 		}
 	}
-	rs.info.AllIncs = rt.net.Incs()
 	if len(rs.waitingDeath) == 0 {
-		if err := rt.launchRound(rs); err != nil {
+		if err := rt.killAndLaunch(rs); err != nil {
 			return nil, err
 		}
 	}
 	return rs, nil
+}
+
+// killAndLaunch is the kill step: the whole scope has drained to the
+// detection fence (every doomed goroutine unwound), so the kills — the
+// incarnation bumps and mailbox wipes — now happen at a deterministic
+// point of the virtual execution, and the restore can begin.
+func (rt *Runtime) killAndLaunch(rs *roundState) error {
+	for _, r := range rs.info.RolledBack {
+		inc := rt.net.Kill(r)
+		rs.info.Incs = append(rs.info.Incs, inc)
+	}
+	rs.info.AllIncs = rt.net.Incs()
+	return rt.launchRound(rs)
 }
 
 // launchRound revives and restarts the rolled-back processes from their
@@ -347,32 +441,60 @@ func (rt *Runtime) beginKill(ev procEvent, finished []bool, finCount *int, deadE
 // A failure can land while part of a cluster has completed checkpoint N and
 // the rest is still writing it, so each cluster restores from the minimum
 // sequence completed by all of its members (0 = restart from the initial
-// state). The completed sequences come from the runtime's own per-run
-// table, not the store's LatestSeq: a store pinned across runs still
-// holds earlier runs' snapshots, and those must never enter this run's
-// restart scope. A sequence this run completed but the store cannot load
-// aborts the round with ErrCheckpointLost: restarting that rank from its
-// initial state instead would silently diverge from the survivors.
+// state). "Completed" is judged against the round's detection fence: only
+// writes issued at or below DetectVT count, so a save that happened to
+// finish in real time but was issued past the fence never skews the
+// restored sequence — the restore is a pure function of virtual time. The
+// completed sequences come from the runtime's own per-run table, not the
+// store's LatestSeq: a store pinned across runs still holds earlier runs'
+// snapshots, and those must never enter this run's restart scope. A
+// sequence this run completed but the store cannot load aborts the round
+// with ErrCheckpointLost: restarting that rank from its initial state
+// instead would silently diverge from the survivors.
 func (rt *Runtime) launchRound(rs *roundState) error {
 	rs.recovering = true
 	info := rs.info
-	restoreSeq := make(map[int]int) // cluster -> min completed seq
+	restoreSeq := make(map[int]int) // cluster -> min completed seq at the fence
 	rt.mu.Lock()
 	for _, r := range info.RolledBack {
 		c := rt.topo.ClusterOf[r]
-		seq := rt.ckptDone[r]
+		seq := 0
+		for _, sp := range rt.ckptDone[r] {
+			if sp.vt <= info.DetectVT && sp.seq > seq {
+				seq = sp.seq
+			}
+		}
 		if cur, ok := restoreSeq[c]; !ok || seq < cur {
 			restoreSeq[c] = seq
 		}
 	}
+	// A rolled-back rank's saves above its cluster's restore point belong
+	// to the abandoned timeline: prune them, or a later round could mix a
+	// pre-rollback snapshot into a restore cut with post-rollback ones
+	// from its peers.
+	for _, r := range info.RolledBack {
+		restored := restoreSeq[rt.topo.ClusterOf[r]]
+		kept := rt.ckptDone[r][:0]
+		for _, sp := range rt.ckptDone[r] {
+			if sp.seq <= restored {
+				kept = append(kept, sp)
+			}
+		}
+		rt.ckptDone[r] = kept
+	}
 	rt.mu.Unlock()
+	// Restores are issued at the round's start time (one hop after
+	// detection, or after the previous round when chained), never at the
+	// raw detection stamp: every stamp the restarted incarnations produce
+	// therefore sorts after everything the plane admitted before the
+	// round launched.
 	snaps := make([]*checkpoint.Snapshot, len(info.RolledBack))
 	starts := make([]vtime.Time, len(info.RolledBack))
 	for i, r := range info.RolledBack {
 		seq := restoreSeq[rt.topo.ClusterOf[r]]
-		starts[i] = info.DetectVT
+		starts[i] = rs.startVT
 		if seq > 0 {
-			snap, endVT, ok := rt.store.Load(r, seq, info.DetectVT)
+			snap, endVT, ok := rt.store.Load(r, seq, rs.startVT)
 			if !ok {
 				return runErr(r, info.Round, PhaseRecovery,
 					fmt.Errorf("restore rank %d from checkpoint seq %d: %w", r, seq, ErrCheckpointLost))
@@ -389,13 +511,12 @@ func (rt *Runtime) launchRound(rs *roundState) error {
 	for i, r := range info.RolledBack {
 		rt.startProc(r, snaps[i], &info, starts[i])
 	}
-	rx := &recCtx{rt: rt, ep: rt.net.Endpoint(rt.cfg.NP), now: info.DetectVT}
+	rx := &recCtx{rt: rt, ep: rt.net.Endpoint(rt.cfg.NP), now: rs.startVT}
 	rec := rt.prot.NewRecovery(rx)
 	if rec == nil {
-		rt.net.Quiesce(rt.cfg.NP)
 		rt.event(procEvent{kind: evRecoveryDone, stats: rollback.RecoveryStats{
 			Round: info.Round, RolledBack: len(info.RolledBack),
-			StartVT: info.DetectVT, EndVT: info.DetectVT,
+			StartVT: info.DetectVT, EndVT: rs.startVT,
 		}})
 		return nil
 	}
@@ -403,12 +524,22 @@ func (rt *Runtime) launchRound(rs *roundState) error {
 	go func() {
 		defer rt.wg.Done()
 		stats, err := rec.Run(info)
-		// Detach: between rounds the recovery endpoint buffers but is known
-		// not to send, so the delivery gate stops waiting on it.
-		rt.net.Quiesce(rt.cfg.NP)
+		// The endpoint stays attached (bounded at the round's final
+		// frontier) until the supervisor processes this event: it either
+		// chains the next queued round — whose stamps continue from here —
+		// or quiesces the endpoint back to latent-source duty. Detaching
+		// here instead would open an unconstrained window in which
+		// deliveries could be admitted that a chained round's stamps
+		// would undercut.
 		rt.event(procEvent{kind: evRecoveryDone, stats: stats, err: err})
 	}()
 	return nil
+}
+
+// recoveryVT is the virtual time a round's recovery coordinator starts at:
+// one minimum-latency network hop after the failure's detection.
+func (rt *Runtime) recoveryVT(detect vtime.Time) vtime.Time {
+	return detect.Add(rt.net.MinLatency())
 }
 
 // abort tears everything down after a fatal error.

@@ -46,10 +46,21 @@
 // cycles of processes none of which can be proven unable to produce an
 // earlier stamp).
 //
-// Failures: Kill marks the endpoint dead, wipes its mailbox, unblocks any
-// blocked receiver with ErrKilled and bumps the process's incarnation
-// number. Traffic already enqueued at other processes is left untouched;
-// see Kill for the rationale.
+// Failures: the kill of a failed process is itself an ordered event in
+// virtual time. Doom(rank, d) declares the endpoint dead *as of* virtual
+// time d without stopping it immediately: operations at or below the fence
+// complete exactly as a failure-free execution would have performed them
+// (a queued checkpoint write issued at vt <= d still completes; a message
+// arriving at vt <= d is still delivered), while the first wait for
+// anything past the fence returns ErrKilled. The gate is victim-aware: a
+// doomed endpoint blocked on traffic that provably cannot arrive at or
+// below its fence — e.g. a scope peer waiting on the already-stopped
+// victim — is reaped with ErrKilled instead of pinning its peers'
+// transitive bounds forever (the naive pre-kill drain deadlock). Kill then
+// finalizes the death: it marks the endpoint dead, wipes its mailbox,
+// unblocks any remaining receiver with ErrKilled and bumps the process's
+// incarnation number. Traffic already enqueued at other processes is left
+// untouched; see Kill for the rationale.
 package transport
 
 import (
@@ -214,6 +225,12 @@ type Endpoint struct {
 
 	q    msgHeap
 	dead bool
+	// doomVT is the virtual time this endpoint is declared to die at
+	// (infTime = not doomed). A doomed endpoint keeps operating at or
+	// below the fence — in-flight work up to the failure's detection time
+	// completes deterministically — and gets ErrKilled at its first wait
+	// for anything provably past it.
+	doomVT vtime.Time
 	// droppedWhileDead counts arrivals discarded because the process was
 	// dead; exposed for tests and metrics.
 	droppedWhileDead int
@@ -241,6 +258,7 @@ func newEndpoint(n *Network, id int, state srcState) *Endpoint {
 		id:       id,
 		n:        n,
 		state:    state,
+		doomVT:   infTime,
 		chArrive: make(map[int]vtime.Time),
 		chSeq:    make(map[int]uint64),
 	}
@@ -283,14 +301,46 @@ func (e *Endpoint) Recv(now vtime.Time) (*Msg, error) {
 			return nil, ErrKilled
 		}
 		if len(e.q) > 0 && n.gatePassLocked(e, e.q[0]) {
+			if n.pastFenceLocked(e, e.q[0]) {
+				// The gate proves the next delivery would happen past the
+				// death fence; the process is dead by then.
+				return nil, e.reapLocked()
+			}
 			m := heap.Pop(&e.q).(*Msg)
 			e.delivered(m, now)
 			return m, nil
+		}
+		if n.doomReapLocked(e) {
+			return nil, e.reapLocked()
 		}
 		e.waiting = wRecv
 		e.cond.Wait()
 		e.waiting = wNone
 	}
+}
+
+// pastFenceLocked reports whether delivering m to the doomed endpoint e
+// would reach past its death fence. The boundary is doomVT plus one
+// minimum-latency hop: the messages already on the wire the instant the
+// failure was detected — anything the gate could have admitted while the
+// stopped victim's stale frontier still constrained the plane — are part
+// of the drain, so the outcome never depends on how quickly the
+// supervisor's doom declaration raced the delivery.
+func (n *Network) pastFenceLocked(e *Endpoint, m *Msg) bool {
+	return e.doomVT < infTime && m.ArriveVT > e.doomVT.Add(n.minLat)
+}
+
+// reapLocked ends a doomed endpoint's wait: the caller's goroutine will
+// unwind with ErrKilled, so the endpoint stops constraining the delivery
+// gate (the supervisor finalizes the death with Kill once the goroutine is
+// reaped). Without this transition a doomed scope peer blocked on the dead
+// victim would pin its peers' transitive bounds forever.
+func (e *Endpoint) reapLocked() error {
+	if !e.dead && e.state != stIdle {
+		e.state = stIdle
+		e.n.refreshLocked()
+	}
+	return ErrKilled
 }
 
 // delivered records the state transition of a successful pop: the receiver
@@ -324,7 +374,13 @@ func (e *Endpoint) TryRecv(now vtime.Time) (m *Msg, ok bool, err error) {
 		n.refreshLocked()
 	}
 	if len(e.q) == 0 || !n.gatePassLocked(e, e.q[0]) {
+		if n.doomReapLocked(e) {
+			return nil, false, e.reapLocked()
+		}
 		return nil, false, nil
+	}
+	if n.pastFenceLocked(e, e.q[0]) {
+		return nil, false, e.reapLocked()
 	}
 	m = heap.Pop(&e.q).(*Msg)
 	e.delivered(m, now)
@@ -422,6 +478,12 @@ func NewNetwork(np int, model netmodel.Model) *Network {
 // NP reports the number of application ranks.
 func (n *Network) NP() int { return n.np }
 
+// MinLatency reports the minimum virtual latency of the plane (>= 1ns) —
+// the delivery gate's lookahead. The supervisor stamps a failure round's
+// recovery traffic one such hop after the detection time, so the attached
+// recovery endpoint's bound never holds the drain at the fence itself.
+func (n *Network) MinLatency() vtime.Duration { return n.minLat }
+
 // Model exposes the cost model in use.
 func (n *Network) Model() netmodel.Model { return n.model }
 
@@ -517,20 +579,26 @@ func (n *Network) Send(m *Msg) error {
 		s.Bytes += int64(m.WireLen)
 		s.PiggyBytes += int64(m.PiggyLen)
 	}
-	if dst.dead {
-		dst.droppedWhileDead++
-		n.refreshLocked() // the sender's frontier still advanced
-		return nil
-	}
 	// FIFO channels admit no overtaking: clamp the arrival to the channel
 	// predecessor's, making arrival times monotone per (src,dst) and the
-	// delivery key order FIFO-consistent.
+	// delivery key order FIFO-consistent. The channel state advances even
+	// when the destination is dead: FIFO order is a property of the
+	// channel, not of the receiver's liveness, and a restarted receiver
+	// continues it — otherwise whether a send landed just before the kill
+	// (buffered, then wiped) or just after (dropped) would leave different
+	// clamps behind and the restarted incarnation's arrival stamps would
+	// depend on that real-time race.
 	if last := dst.chArrive[m.Src]; m.ArriveVT < last {
 		m.ArriveVT = last
 	}
 	dst.chArrive[m.Src] = m.ArriveVT
 	dst.chSeq[m.Src]++
 	m.chSeq = dst.chSeq[m.Src]
+	if dst.dead {
+		dst.droppedWhileDead++
+		n.refreshLocked() // the sender's frontier still advanced
+		return nil
+	}
 	heap.Push(&dst.q, m)
 	n.refreshLocked()
 	return nil
@@ -572,7 +640,10 @@ func (n *Network) Quiesce(id int) {
 // a checkpoint write) at a virtual time before (vt, id), pinning id's own
 // frontier at vt meanwhile. The checkpoint runtime brackets stable-storage
 // writes with it so shared-bandwidth contention resolves in virtual-time
-// order, not real-time race order.
+// order, not real-time race order. A doomed endpoint's turn at or below its
+// death fence is still granted — an in-flight checkpoint write issued
+// before the failure's detection time completes — while a turn past the
+// fence returns ErrKilled: the write is cancelled deterministically.
 func (n *Network) AwaitTurn(id int, vt vtime.Time) error {
 	n.dmu.Lock()
 	defer n.dmu.Unlock()
@@ -581,6 +652,9 @@ func (n *Network) AwaitTurn(id int, vt vtime.Time) error {
 	for {
 		if e.dead {
 			return ErrKilled
+		}
+		if vt > e.doomVT {
+			return e.reapLocked()
 		}
 		if e.state != stRunning || e.frontier < vt {
 			e.state = stRunning
@@ -671,15 +745,43 @@ func (n *Network) refreshLocked() {
 	for _, e := range n.epList {
 		switch e.waiting {
 		case wRecv:
-			if e.dead || (len(e.q) > 0 && n.gatePassLocked(e, e.q[0])) {
+			if e.dead || (len(e.q) > 0 && n.gatePassLocked(e, e.q[0])) || n.doomReapLocked(e) {
 				e.cond.Signal()
 			}
 		case wTurn:
-			if e.dead || n.turnPassLocked(e, e.turnVT) {
+			if e.dead || e.turnVT > e.doomVT || n.turnPassLocked(e, e.turnVT) {
 				e.cond.Signal()
 			}
 		}
 	}
+}
+
+// doomReapLocked reports whether a doomed endpoint blocked in Recv can be
+// reaped: nothing within the fence can still be delivered to it — its
+// queue holds no pre-fence message and no other live source's bound still
+// admits a send at or below the fence (a source bound above doomVT can
+// only produce arrivals past doomVT+minLat, outside the drain). This is
+// what makes the gate victim-aware: a scope peer blocked on the
+// already-stopped victim is released with ErrKilled the moment the plane
+// proves the wait hopeless, instead of deadlocking the pre-kill drain.
+func (n *Network) doomReapLocked(e *Endpoint) bool {
+	d := e.doomVT
+	if d == infTime || e.dead {
+		return false
+	}
+	if len(e.q) > 0 && !n.pastFenceLocked(e, e.q[0]) {
+		return false // a pre-fence message is queued; it must be delivered
+	}
+	for _, r := range n.low3 {
+		if r.b == infTime {
+			return true
+		}
+		if r.id == e.id {
+			continue
+		}
+		return r.b > d
+	}
+	return true
 }
 
 // gatePassLocked reports whether m — the minimum-key message queued at dst
@@ -733,8 +835,12 @@ func (n *Network) DebugState() string {
 			m := e.q[0]
 			head = fmt.Sprintf("%s src=%d avt=%d deliverable=%v", m.Kind, m.Src, m.ArriveVT, n.gatePassLocked(e, m))
 		}
-		b = fmt.Appendf(b, "  ep %d: %s frontier=%d bound=%d qlen=%d head={%s}\n",
-			e.id, names[e.state], e.frontier, e.bound, len(e.q), head)
+		doom := ""
+		if e.doomVT < infTime {
+			doom = fmt.Sprintf(" doom=%d", e.doomVT)
+		}
+		b = fmt.Appendf(b, "  ep %d: %s frontier=%d bound=%d%s qlen=%d head={%s}\n",
+			e.id, names[e.state], e.frontier, e.bound, doom, len(e.q), head)
 	}
 	return string(b)
 }
@@ -753,6 +859,27 @@ func (n *Network) PairStatAt(src, dst int) PairStat {
 	n.dmu.Lock()
 	defer n.dmu.Unlock()
 	return n.stats[src*n.np+dst]
+}
+
+// Doom declares that id dies at virtual time d without stopping it
+// immediately: the endpoint keeps taking checkpoint-write turns stamped at
+// or below d and keeps delivering messages arriving within one
+// minimum-latency hop of d (anything the gate could have admitted while
+// the stopped victim's stale frontier still constrained the plane) exactly
+// as a failure-free execution would, and its first wait for anything
+// provably past that fence returns ErrKilled. The supervisor dooms a
+// failure's whole restart scope at the detection time, drains the plane to
+// the fence, and only then finalizes with Kill — making the kill phase an
+// ordered event in virtual time. An earlier doom wins when called twice;
+// Kill and RestartAt clear it.
+func (n *Network) Doom(id int, d vtime.Time) {
+	n.dmu.Lock()
+	e := n.endpointLocked(id)
+	if !e.dead && d < e.doomVT {
+		e.doomVT = d
+		n.refreshLocked()
+	}
+	n.dmu.Unlock()
 }
 
 // Kill marks rank dead: bumps its incarnation, wipes its mailbox and wakes
@@ -790,6 +917,7 @@ func (n *Network) KillService(id int) {
 func (n *Network) killLocked(e *Endpoint) {
 	e.dead = true
 	e.state = stDead
+	e.doomVT = infTime
 	e.q = nil
 	n.refreshLocked()
 }
@@ -813,6 +941,7 @@ func (n *Network) RestartAt(rank int, vt vtime.Time) {
 	e := n.eps[rank]
 	e.dead = false
 	e.state = stRunning
+	e.doomVT = infTime
 	e.frontier = vt
 	e.q = nil
 	n.refreshLocked()

@@ -72,6 +72,9 @@ func fileStoreFactory(o StoreOptions) (Store, error) {
 }
 
 func shardedStoreFactory(o StoreOptions) (Store, error) {
+	if o.Dir != "" {
+		return checkpoint.NewShardedFileStore(o.Dir, o.Shards, o.WriteBPS, o.ReadBPS, o.Placement)
+	}
 	return checkpoint.NewShardedStore(o.Shards, o.WriteBPS, o.ReadBPS, o.Placement), nil
 }
 
@@ -93,6 +96,16 @@ func NewFileStore(dir string, writeBPS, readBPS float64) (Store, error) {
 // storage target.
 func NewShardedStore(n int, writeBPS, readBPS float64, place func(rank int) int) Store {
 	return checkpoint.NewShardedStore(n, writeBPS, readBPS, place)
+}
+
+// NewShardedFileStore builds (or reopens) a durable sharded store under
+// dir, one file-backed shard per directory dir/shard-000, dir/shard-001,
+// ... Reopening with n == 0 infers the shard count from the layout;
+// snapshots saved before the reopen stay loadable. Also reachable as
+// WithStoreName("sharded", StoreOptions{Dir: ..., Shards: n}) and
+// `-store sharded:n -store-dir dir` in hydee-recover.
+func NewShardedFileStore(dir string, n int, writeBPS, readBPS float64, place func(rank int) int) (Store, error) {
+	return checkpoint.NewShardedFileStore(dir, n, writeBPS, readBPS, place)
 }
 
 // ClusterPlacement places each rank on the shard of its cluster (cluster
