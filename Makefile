@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test test-short race determinism profile vet lint fmt-check check
+.PHONY: all build test test-short race determinism profile bench-json vet lint fmt-check check
 
 all: check
 
@@ -35,6 +35,13 @@ determinism:
 profile:
 	$(GO) test -run 'TestHydEESmoke1024' -count=1 -cpuprofile cpu.prof -o hydee-smoke.test .
 	@echo "profile written to cpu.prof; open with: go tool pprof hydee-smoke.test cpu.prof"
+
+# Append one wall-clock performance point for the np=1024 smoke workload
+# to BENCH_hydee.json (one JSON line per invocation — a throughput series
+# over commits). Virtual-time fields in the line are deterministic; only
+# wall_ms / events_per_sec measure the machine.
+bench-json:
+	$(GO) run ./cmd/hydee-bench -out BENCH_hydee.json
 
 vet:
 	$(GO) vet ./...

@@ -25,8 +25,8 @@ func main() {
 	net := flag.String("net", "myrinet10g", "network model for the traces ("+strings.Join(hydee.ModelNames(), ", ")+"); clustering output is model-independent — rows derive from payload byte counts only")
 	par := flag.Int("par", 0, "parallel traces (0 = one per CPU)")
 	showAssign := flag.Bool("assign", false, "print the per-rank cluster assignment")
-	events := flag.String("events", "", "stream run lifecycle events to this file, or one file per run when the path is a directory (trailing slash or existing dir)")
-	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
+	var stream hydee.EventStreamSpec
+	stream.Bind(flag.CommandLine)
 	flag.Parse()
 
 	if *np <= 0 || *iters <= 0 {
@@ -38,18 +38,15 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if *events != "" {
-		var closeEvents func() error
-		ctx, closeEvents, err = hydee.StreamEvents(ctx, *exporter, *events)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer func() {
-			if err := closeEvents(); err != nil {
-				log.Print(err)
-			}
-		}()
+	ctx, closeEvents, err := stream.Wire(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer func() {
+		if err := closeEvents(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	rows, err := hydee.Table1Ctx(ctx, *np, *iters, model, *par)
 	if err != nil {

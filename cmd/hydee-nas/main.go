@@ -30,8 +30,8 @@ func main() {
 	proto := flag.String("proto", "mlog", "comparator protocol: "+strings.Join(hydee.ProtocolNames(), ", "))
 	net := flag.String("net", "myrinet10g", "network model: "+strings.Join(hydee.ModelNames(), ", "))
 	par := flag.Int("par", 0, "parallel runs in the sweep (0 = one per CPU)")
-	events := flag.String("events", "", "stream run lifecycle events to this file, or one file per run when the path is a directory (trailing slash or existing dir)")
-	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
+	var stream hydee.EventStreamSpec
+	stream.Bind(flag.CommandLine)
 	flag.Parse()
 
 	if *np <= 0 || *iters <= 0 || *traceIters <= 0 {
@@ -47,18 +47,15 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if *events != "" {
-		var closeEvents func() error
-		ctx, closeEvents, err = hydee.StreamEvents(ctx, *exporter, *events)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer func() {
-			if err := closeEvents(); err != nil {
-				log.Print(err)
-			}
-		}()
+	ctx, closeEvents, err := stream.Wire(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer func() {
+		if err := closeEvents(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	t1, err := hydee.Table1Ctx(ctx, *np, *traceIters, model, *par)
 	if err != nil {

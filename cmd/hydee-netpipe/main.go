@@ -26,8 +26,8 @@ import (
 func main() {
 	reps := flag.Int("reps", 10, "round trips per message size")
 	net := flag.String("net", "myrinet10g", "network model: "+strings.Join(hydee.ModelNames(), ", "))
-	events := flag.String("events", "", "stream run lifecycle events to this file, or one file per run when the path is a directory (trailing slash or existing dir)")
-	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
+	var stream hydee.EventStreamSpec
+	stream.Bind(flag.CommandLine)
 	flag.Parse()
 
 	if *reps <= 0 {
@@ -39,18 +39,15 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if *events != "" {
-		var closeEvents func() error
-		ctx, closeEvents, err = hydee.StreamEvents(ctx, *exporter, *events)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer func() {
-			if err := closeEvents(); err != nil {
-				log.Print(err)
-			}
-		}()
+	ctx, closeEvents, err := stream.Wire(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer func() {
+		if err := closeEvents(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	rows, err := hydee.Figure5Ctx(ctx, model, nil, *reps)
 	if err != nil {

@@ -34,11 +34,10 @@ func main() {
 	failAfter := flag.Int("fail-after", 1, "inject the failure after this many checkpoints")
 	failAt := flag.String("fail-at", "", `inject the failure at a trigger spec instead of -fail-after: "vt:<duration>" (a virtual time — the kill is an ordered virtual-time event, so even a mid-checkpoint-wave landing is byte-reproducible), "sends:<n>" or "ckpts:<n>"`)
 	net := flag.String("net", "myrinet10g", "network model: "+strings.Join(hydee.ModelNames(), ", "))
-	storeSpec := flag.String("store", "mem", "checkpoint store, name[:shards] over "+strings.Join(hydee.StoreNames(), ", ")+" (e.g. sharded:4)")
-	storeBPS := flag.Float64("store-bps", 0, "stable-storage bandwidth in bytes/second per store link (0 = free)")
-	storeDir := flag.String("store-dir", "", `snapshot directory for -store file (runs reuse it; same-sequence files are overwritten)`)
-	events := flag.String("events", "", "stream run lifecycle events to this file, or one file per run when the path is a directory (trailing slash or existing dir)")
-	exporter := flag.String("exporter", "jsonl", "event exporter for -events: "+strings.Join(hydee.ExporterNames(), ", "))
+	var store hydee.StoreSpec
+	store.Bind(flag.CommandLine)
+	var stream hydee.EventStreamSpec
+	stream.Bind(flag.CommandLine)
 	flag.Parse()
 
 	if *np <= 0 || *iters <= 0 || *ckpt <= 0 {
@@ -75,21 +74,13 @@ func main() {
 	if err := failWhen.Validate(); err != nil {
 		log.Fatalf("hydee-recover: %v (valid -fail-at forms: %s)", err, hydee.FailureSpecForms)
 	}
-	storeName, shards, err := hydee.ParseStoreSpec(*storeSpec)
-	if err != nil {
-		log.Fatal(err)
-	}
 	// Probe the registry now so an unknown or misconfigured store fails
 	// before any sweep work, not inside the first run.
-	if _, err := hydee.StoreByName(storeName, hydee.StoreOptions{Shards: shards, Dir: *storeDir}); err != nil {
+	if err := store.Probe(); err != nil {
 		log.Fatal(err)
 	}
 	newStore := func(topo *hydee.Topology) hydee.Store {
-		opts := hydee.StoreOptions{WriteBPS: *storeBPS, ReadBPS: *storeBPS, Shards: shards, Dir: *storeDir}
-		if shards > 1 {
-			opts.Placement = hydee.ClusterPlacement(topo, shards)
-		}
-		st, err := hydee.StoreByName(storeName, opts)
+		st, err := store.New(topo)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -98,25 +89,22 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if *events != "" {
-		var closeEvents func() error
-		ctx, closeEvents, err = hydee.StreamEvents(ctx, *exporter, *events)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer func() {
-			if err := closeEvents(); err != nil {
-				log.Print(err)
-			}
-		}()
+	ctx, closeEvents, err := stream.Wire(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer func() {
+		if err := closeEvents(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	cl, err := harness.ClusterApp(k, apps.Params{NP: *np, Iters: 2}, graph.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s on %d ranks: %d clusters, %.2f%% logged, %.2f%% expected rollback (store %s)\n\n",
-		*app, *np, cl.K, 100*cl.CutFrac, 100*cl.ExpRollback, *storeSpec)
+		*app, *np, cl.K, 100*cl.CutFrac, 100*cl.ExpRollback, store.Spec)
 
 	rows, err := harness.ContainmentCtx(ctx, k, *np, *iters, *ckpt, cl.Assign, failWhen, model, newStore)
 	if err != nil {
@@ -125,8 +113,8 @@ func main() {
 	fmt.Println(hydee.FormatE4(rows))
 	fmt.Println("every recovered execution was validated against its failure-free digests ✓")
 
-	if shards > 1 && *storeBPS > 0 {
-		burst, err := harness.CheckpointBurstSharded(ctx, k, *np, *iters, *ckpt, cl.Assign, *storeBPS, shards, model)
+	if _, shards, _ := hydee.ParseStoreSpec(store.Spec); shards > 1 && store.BPS > 0 {
+		burst, err := harness.CheckpointBurstSharded(ctx, k, *np, *iters, *ckpt, cl.Assign, store.BPS, shards, model)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -101,6 +101,162 @@ func (x *jsonlExporter) Close() error {
 	return x.err
 }
 
+// MarshalRunEvent encodes one lifecycle event in the exporters' JSONL
+// wire form (no trailing newline) — the same record NewJSONLExporter
+// writes, exposed so network transports (the hydee-serve SSE stream) can
+// frame events byte-compatibly with the files on disk.
+func MarshalRunEvent(ev RunEvent) ([]byte, error) {
+	rec := jsonlEvent{
+		Kind:  ev.Kind.String(),
+		Run:   ev.Run,
+		VT:    int64(ev.VT),
+		Rank:  ev.Rank,
+		Ranks: ev.Ranks,
+		Round: ev.Round,
+		Seq:   ev.Seq,
+	}
+	if s := ev.Stats; s != nil {
+		rec.RolledBack = s.RolledBack
+		rec.Orphans = s.Orphans
+		rec.CtlMsgs = s.CtlMsgs
+		rec.StartVT = int64(s.StartVT)
+	}
+	if ev.Err != nil {
+		rec.Err = ev.Err.Error()
+	}
+	return json.Marshal(&rec)
+}
+
+// FanoutExporter retains every observed event and replays them to any
+// number of subscribers, each from the start of the stream — the
+// in-memory hub behind live event tails (the hydee-serve SSE endpoint):
+// a subscriber arriving mid-run still sees the whole history, and a slow
+// subscriber never blocks the runs driving OnEvent.
+type FanoutExporter struct {
+	mu     sync.Mutex
+	events []RunEvent
+	subs   map[*fanoutSub]struct{}
+	closed bool
+}
+
+type fanoutSub struct {
+	notify chan struct{}
+	stop   chan struct{}
+	once   sync.Once
+}
+
+// NewFanoutExporter returns an empty hub. Close it once the runs feeding
+// it are done so subscribers' channels terminate.
+func NewFanoutExporter() *FanoutExporter {
+	return &FanoutExporter{subs: make(map[*fanoutSub]struct{})}
+}
+
+// OnEvent implements Observer: the event is appended to the retained log
+// and subscribers are nudged. Never blocks on a slow subscriber.
+func (x *FanoutExporter) OnEvent(ev RunEvent) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return
+	}
+	x.events = append(x.events, ev)
+	for sub := range x.subs {
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Events returns a snapshot copy of every event observed so far.
+func (x *FanoutExporter) Events() []RunEvent {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]RunEvent(nil), x.events...)
+}
+
+// Subscribe returns a channel replaying the stream from its start and
+// then following it live, plus a cancel function. The channel closes when
+// the hub is closed and the replay has drained, or when cancel is called;
+// cancel is idempotent and safe after the channel closed.
+func (x *FanoutExporter) Subscribe() (<-chan RunEvent, func()) {
+	sub := &fanoutSub{
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	cancel := func() { sub.once.Do(func() { close(sub.stop) }) }
+	x.mu.Lock()
+	if !x.closed {
+		x.subs[sub] = struct{}{}
+	}
+	x.mu.Unlock()
+
+	out := make(chan RunEvent)
+	go func() {
+		defer close(out)
+		next := 0
+		for {
+			x.mu.Lock()
+			var (
+				ev     RunEvent
+				have   bool
+				closed = x.closed
+			)
+			if next < len(x.events) {
+				ev, have = x.events[next], true
+				next++
+			}
+			x.mu.Unlock()
+			if have {
+				select {
+				case out <- ev:
+					continue
+				case <-sub.stop:
+					x.drop(sub)
+					return
+				}
+			}
+			if closed {
+				x.drop(sub)
+				return
+			}
+			select {
+			case <-sub.notify:
+			case <-sub.stop:
+				x.drop(sub)
+				return
+			}
+		}
+	}()
+	return out, cancel
+}
+
+func (x *FanoutExporter) drop(sub *fanoutSub) {
+	x.mu.Lock()
+	delete(x.subs, sub)
+	x.mu.Unlock()
+}
+
+// Close implements Exporter: no further events are accepted and every
+// subscriber's channel closes once its replay drains. The retained log
+// stays readable through Events and late Subscribe calls (which replay
+// the full history and then close).
+func (x *FanoutExporter) Close() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return nil
+	}
+	x.closed = true
+	for sub := range x.subs {
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
 // RunMetrics is the summary a metrics exporter emits on Close: aggregate
 // counts over every run it observed.
 type RunMetrics struct {

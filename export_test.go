@@ -210,6 +210,183 @@ func TestStreamEventsToDirSplitsPerRun(t *testing.T) {
 	}
 }
 
+// TestRunDirExportersConcurrent drives two independent run-dir exporters
+// at once — the hydee-serve shape, one per concurrent job — and checks
+// the streams stay disjoint: each directory holds its own runs' files
+// and no event of one sweep leaks into the other's directory.
+func TestRunDirExportersConcurrent(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir()}
+	const runsPer = 3
+	errs := make(chan error, len(dirs))
+	for _, dir := range dirs {
+		go func(dir string) {
+			ctx, closeEvents, err := hydee.StreamEventsToDir(context.Background(), "jsonl", dir)
+			if err != nil {
+				errs <- err
+				return
+			}
+			specs := make([]hydee.ExperimentSpec, runsPer)
+			for i := range specs {
+				k, kerr := hydee.KernelByName("cg")
+				if kerr != nil {
+					errs <- kerr
+					return
+				}
+				specs[i] = hydee.ExperimentSpec{Kernel: k, Params: hydee.KernelParams{NP: 8, Iters: 2}, Proto: hydee.ProtoNative}
+			}
+			if _, err := hydee.RunExperiments(ctx, specs, runsPer); err != nil {
+				errs <- err
+				return
+			}
+			errs <- closeEvents()
+		}(dir)
+	}
+	for range dirs {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]string{} // file base name → dir (run ids are process-global, so no overlap)
+	for _, dir := range dirs {
+		files, err := filepath.Glob(filepath.Join(dir, "run-*.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) != runsPer {
+			t.Fatalf("%s: %d per-run files, want %d", dir, len(files), runsPer)
+		}
+		for _, f := range files {
+			base := filepath.Base(f)
+			if other, dup := seen[base]; dup {
+				t.Errorf("run file %s appears in both %s and %s", base, other, dir)
+			}
+			seen[base] = dir
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			starts, completes := 0, 0
+			sc := bufio.NewScanner(bytes.NewReader(data))
+			for sc.Scan() {
+				var rec struct {
+					Kind string `json:"kind"`
+				}
+				if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+					t.Fatalf("%s: bad line %q: %v", f, sc.Text(), err)
+				}
+				switch rec.Kind {
+				case "run-start":
+					starts++
+				case "run-complete":
+					completes++
+				}
+			}
+			if starts != 1 || completes != 1 {
+				t.Errorf("%s: %d starts / %d completes, want 1 each", f, starts, completes)
+			}
+		}
+	}
+}
+
+// TestFanoutExporter covers the replay hub behind the SSE endpoint: a
+// late subscriber replays the full history, a subscriber that never
+// reads doesn't block OnEvent, cancel unblocks, and Close terminates
+// every stream after its replay drains.
+func TestFanoutExporter(t *testing.T) {
+	hub := hydee.NewFanoutExporter()
+
+	// A subscriber that never reads: OnEvent must not block on it.
+	_, cancelStuck := hub.Subscribe()
+	defer cancelStuck()
+
+	live, cancelLive := hub.Subscribe()
+	defer cancelLive()
+	runWithExporter(t, hub)
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var liveCount int
+	for range live {
+		liveCount++
+	}
+	if liveCount == 0 {
+		t.Fatal("live subscriber saw no events")
+	}
+	if got := len(hub.Events()); got != liveCount {
+		t.Errorf("retained %d events, subscriber saw %d", got, liveCount)
+	}
+
+	// Late subscriber, after Close: full replay, then the channel closes.
+	late, cancelLate := hub.Subscribe()
+	defer cancelLate()
+	var lateCount int
+	for range late {
+		lateCount++
+	}
+	if lateCount != liveCount {
+		t.Errorf("late subscriber replayed %d events, want %d", lateCount, liveCount)
+	}
+
+	// Cancel unblocks a subscriber promptly even though the hub is idle.
+	ch, cancel := hub.Subscribe()
+	drained := 0
+	for range ch {
+		drained++
+		if drained == 1 {
+			cancel()
+		}
+	}
+
+	// The wire form matches the JSONL files byte for byte.
+	ev := hub.Events()[0]
+	data, err := hydee.MarshalRunEvent(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	exp := hydee.NewJSONLExporter(&buf)
+	exp.OnEvent(ev)
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := bytes.TrimRight(buf.Bytes(), "\n"); !bytes.Equal(data, want) {
+		t.Errorf("MarshalRunEvent: %s\njsonl exporter: %s", data, want)
+	}
+}
+
+// TestStreamEventsEdgeCases: an existing directory without a trailing
+// separator still selects per-run files, and an unknown exporter name
+// fails up front in both dir and file modes.
+func TestStreamEventsEdgeCases(t *testing.T) {
+	dir := t.TempDir() // exists, no trailing separator
+	ctx, closeEvents, err := hydee.StreamEvents(context.Background(), "jsonl", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := hydee.New(hydee.WithRanks(4), hydee.WithModel(hydee.IdealNetwork()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(ctx, hydee.RingProgram(2, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeEvents(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "run-*.jsonl"))
+	if len(files) != 1 {
+		t.Fatalf("existing dir selected %d per-run files, want 1", len(files))
+	}
+
+	if _, _, err := hydee.StreamEvents(context.Background(), "no-such-exporter", dir); err == nil {
+		t.Error("unknown exporter in dir mode: no error")
+	}
+	if _, _, err := hydee.StreamEvents(context.Background(), "no-such-exporter", filepath.Join(dir, "f.jsonl")); err == nil {
+		t.Error("unknown exporter in file mode: no error")
+	}
+}
+
 // TestStreamEventsAutoDetectsDirectory checks the -events flag wiring: a
 // trailing separator selects per-run files, a plain path one fan-in file.
 func TestStreamEventsAutoDetectsDirectory(t *testing.T) {

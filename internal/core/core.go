@@ -159,17 +159,28 @@ func (e *engine) interCluster(peer int) bool { return e.topo.ClusterOf[peer] != 
 // PreSend implements Algorithm 1 lines 5-9 plus the send gating and orphan
 // suppression of Algorithm 2.
 func (e *engine) PreSend(m *transport.Msg) (rollback.SendVerdict, error) {
-	if rs := e.active; rs != nil && rs.gated {
+	for {
+		rs := e.active
+		if rs == nil || !rs.gated {
+			break
+		}
 		// First post-failure send: wait for the recovery process's
 		// release and, if this process rolled back, for every channel
-		// watermark (Algorithm 2 line 8, Algorithm 3 line 18).
+		// watermark (Algorithm 2 line 8, Algorithm 3 line 18). The wait
+		// also ends when a newer round supersedes this one (a starved
+		// round's coordinator was killed and a merged round took over):
+		// the old release will never come, and the predicate re-anchors
+		// on the new active round.
 		err := e.px.WaitCtl(func() bool {
-			return rs.released && (!rs.selfRolled || len(rs.needWatermark) == 0)
+			return e.active != rs || (rs.released && (!rs.selfRolled || len(rs.needWatermark) == 0))
 		})
 		if err != nil {
 			return rollback.SendVerdict{}, err
 		}
-		rs.gated = false
+		if e.active == rs {
+			rs.gated = false
+			break
+		}
 	}
 
 	e.date++

@@ -90,6 +90,11 @@ type Spec struct {
 	// (it sees the resolved topology so placements can follow clusters).
 	// Every run must get a fresh store, or sequential runs bleed state.
 	NewStore func(topo *rollback.Topology) checkpoint.Store
+	// NewStoreE is NewStore for constructors that can fail: a store
+	// resolved by name from a flag or a wire spec fails the run with a
+	// typed error instead of forcing the caller to panic inside NewStore.
+	// NewStore wins when both are set.
+	NewStoreE func(topo *rollback.Topology) (checkpoint.Store, error)
 	// Recorder optionally records application-level events.
 	Recorder *trace.Recorder
 	// Watchdog overrides the deadlock guard.
@@ -139,15 +144,18 @@ func (s *Spec) topoAndProtocol() (*rollback.Topology, rollback.Protocol, error) 
 // makeStore builds the run's checkpoint store from the spec: an explicit
 // constructor, a cluster-placed sharded store, or the default shared
 // in-memory store.
-func (s *Spec) makeStore(topo *rollback.Topology) checkpoint.Store {
+func (s *Spec) makeStore(topo *rollback.Topology) (checkpoint.Store, error) {
 	if s.NewStore != nil {
-		return s.NewStore(topo)
+		return s.NewStore(topo), nil
+	}
+	if s.NewStoreE != nil {
+		return s.NewStoreE(topo)
 	}
 	if n := s.StoreShards; n > 1 {
 		return checkpoint.NewShardedStore(n, s.StoreWriteBPS, s.StoreReadBPS,
-			func(rank int) int { return topo.ClusterOf[rank] % n })
+			func(rank int) int { return topo.ClusterOf[rank] % n }), nil
 	}
-	return checkpoint.NewMemStore(s.StoreWriteBPS, s.StoreReadBPS)
+	return checkpoint.NewMemStore(s.StoreWriteBPS, s.StoreReadBPS), nil
 }
 
 // Run executes the spec.
@@ -169,12 +177,16 @@ func RunCtx(ctx context.Context, s Spec) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	store, err := s.makeStore(topo)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", s.Kernel.Name, s.Proto, err)
+	}
 	res, err := mpi.RunContext(ctx, mpi.Config{
 		NP:                s.Params.NP,
 		Model:             s.Model,
 		Topo:              topo,
 		Protocol:          prot,
-		Store:             s.makeStore(topo),
+		Store:             store,
 		CheckpointEvery:   s.CheckpointEvery,
 		CheckpointStagger: s.Stagger,
 		Failures:          s.Failures,

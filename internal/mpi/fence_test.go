@@ -253,6 +253,159 @@ func TestBlockedScopePeerDrainReproducible(t *testing.T) {
 	}
 }
 
+// TestReverseOrderDetectionsMergeReproducible closes the reverse-VT-order
+// watchdog caveat: a compute-only victim's detection is quantized to its
+// chunk end, so a failure triggered early can reach the supervisor with a
+// LATER virtual detection time than a communicating victim's failure that
+// reaches it afterwards. The first-arriving round can then never collect a
+// report from the second failure's already-dead scope. Instead of the old
+// watchdog abort, the starved round must be superseded by a merged round
+// rolling back both clusters at their own fences, byte-reproducibly.
+func TestReverseOrderDetectionsMergeReproducible(t *testing.T) {
+	cfg := mpi.Config{
+		NP:       4,
+		Topo:     rollback.NewTopology([]int{0, 0, 1, 1}),
+		Protocol: core.New(),
+		Model:    netmodel.Ideal(),
+		Failures: failure.NewSchedule(
+			// Cluster 1 is compute-only: the trigger at VT 50 fires at the
+			// first interaction point past it — the end of rank 2's first
+			// 1000ns chunk — so the detection lands at VT 1000.
+			failure.Event{Ranks: []int{2}, When: failure.Trigger{AtVT: vtime.Time(50)}},
+			// Cluster 0 ping-pongs in tens of nanoseconds; rank 0 dies at
+			// its third send, i.e. at a detection time far BELOW 1000 —
+			// but its evFail can only reach the supervisor after cluster
+			// 1's frontiers unblocked the ping-pong, i.e. after rank 2's
+			// failure was already emitted: reverse virtual-time order.
+			failure.Event{Ranks: []int{0}, When: failure.Trigger{AfterSends: 3}},
+		),
+		Watchdog: 30 * time.Second,
+	}
+	prog := func(c *mpi.Comm) error {
+		switch c.Rank() {
+		case 0, 1:
+			peer := 1 - c.Rank()
+			got := 0
+			for i := 0; i < 6; i++ {
+				if c.Rank() == 0 {
+					if err := c.Send(peer, i, []byte("ping")); err != nil {
+						return err
+					}
+					if _, _, err := c.Recv(peer, i); err != nil {
+						return err
+					}
+				} else {
+					if _, _, err := c.Recv(peer, i); err != nil {
+						return err
+					}
+					if err := c.Send(peer, i, []byte("pong")); err != nil {
+						return err
+					}
+				}
+				got++
+				if err := c.Compute(10 * vtime.Nanosecond); err != nil {
+					return err
+				}
+			}
+			c.SetResult(got)
+			return nil
+		default:
+			for i := 0; i < 2; i++ {
+				if err := c.Compute(1000 * vtime.Nanosecond); err != nil {
+					return err
+				}
+			}
+			c.SetResult(2)
+			return nil
+		}
+	}
+	res := runFenced(t, cfg, prog)
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds %d, want 1 (the starved round is superseded, only the merged round completes)", len(res.Rounds))
+	}
+	if res.Rounds[0].RolledBack != 4 {
+		t.Fatalf("merged round rolled back %d ranks, want all 4", res.Rounds[0].RolledBack)
+	}
+	for r, v := range res.Results {
+		want := 2
+		if r < 2 {
+			want = 6
+		}
+		if v != want {
+			t.Fatalf("rank %d result %v, want %d", r, v, want)
+		}
+	}
+}
+
+// TestOverlappingScopeRefailureReproducible closes the overlapping-scope
+// watchdog caveat: the same cluster is hit again while its own recovery
+// round is mid-flight. Rank 0 logs inter-cluster sends, dies, and its
+// restarted incarnation dies again after notifying only the first of two
+// orphans — so round 0's coordinator waits forever on the second orphan
+// notification. The starved round must be superseded by a merged round that
+// re-rolls the cluster to the earliest fence and converges, with rank 2
+// delivering every message exactly once.
+func TestOverlappingScopeRefailureReproducible(t *testing.T) {
+	cfg := mpi.Config{
+		NP:       4,
+		Topo:     rollback.NewTopology([]int{0, 0, 1, 1}),
+		Protocol: core.New(),
+		Model:    netmodel.Ideal(),
+		Failures: failure.NewSchedule(
+			// First incarnation of rank 0 dies entering its third send.
+			failure.Event{Ranks: []int{0}, When: failure.Trigger{AfterSends: 2}},
+			// The replay suppresses re-sends of the two orphans; the
+			// cumulative send counter crosses 3 after the first suppressed
+			// re-send, so the restarted incarnation dies entering the
+			// second — leaving one orphan notification outstanding.
+			failure.Event{Ranks: []int{0}, When: failure.Trigger{AfterSends: 3}},
+		),
+		Watchdog: 30 * time.Second,
+	}
+	prog := func(c *mpi.Comm) error {
+		switch c.Rank() {
+		case 0:
+			for i := 1; i <= 4; i++ {
+				if err := c.Send(2, i, []byte{byte(i)}); err != nil {
+					return err
+				}
+				if err := c.Compute(10 * vtime.Nanosecond); err != nil {
+					return err
+				}
+			}
+			c.SetResult(4)
+			return nil
+		case 2:
+			sum := 0
+			for i := 1; i <= 4; i++ {
+				d, _, err := c.Recv(0, i)
+				if err != nil {
+					return err
+				}
+				sum += int(d[0])
+			}
+			c.SetResult(sum)
+			return nil
+		default:
+			if err := c.Compute(100 * vtime.Nanosecond); err != nil {
+				return err
+			}
+			c.SetResult(-1)
+			return nil
+		}
+	}
+	res := runFenced(t, cfg, prog)
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds %d, want 1 (round 0 is superseded, only the merged round completes)", len(res.Rounds))
+	}
+	if res.Rounds[0].RolledBack != 2 {
+		t.Fatalf("merged round rolled back %d ranks, want cluster 0's 2", res.Rounds[0].RolledBack)
+	}
+	if res.Results[2] != 1+2+3+4 {
+		t.Fatalf("rank 2 sum %v, want 10 (each message delivered exactly once)", res.Results[2])
+	}
+}
+
 // runStoreBacked runs cfg with a fresh store per run; when twice is true it
 // runs two times and asserts byte-identical results first.
 func runStoreBacked(t *testing.T, cfg mpi.Config, mkStore func() checkpoint.Store, prog mpi.Program, twice bool) *mpi.Result {

@@ -2,7 +2,9 @@ package mpi
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -32,6 +34,18 @@ type Runtime struct {
 
 	evCh     chan procEvent
 	cumSends []int64 // atomic, cumulative app sends per rank across incarnations
+
+	// Supervisor-owned (touched only by the goroutine running supervise
+	// and the setup code that precedes it):
+	//
+	// liveProcs counts process goroutines started and not yet observed to
+	// die; recLive marks a recovery-coordinator goroutine in flight. Their
+	// sum is the parked-goroutine count Network.Quiescent must see for the
+	// plane to be provably stuck. pending holds failure events queued
+	// behind the active round, ordered by (detection VT, first victim).
+	liveProcs int
+	recLive   bool
+	pending   []procEvent
 
 	mu       sync.Mutex
 	metrics  []rollback.Metrics
@@ -162,6 +176,7 @@ func RunContext(ctx context.Context, cfg Config, program Program) (*Result, erro
 
 func (rt *Runtime) startProc(rank int, snap *checkpoint.Snapshot, round *rollback.RoundInfo, startVT vtime.Time) {
 	p := rt.newProc(rank, snap, round, startVT)
+	rt.liveProcs++
 	rt.wg.Add(1)
 	go p.run()
 }
@@ -175,6 +190,16 @@ type roundState struct {
 	info         rollback.RoundInfo
 	waitingDeath map[int]bool
 	recovering   bool
+	// fences maps each rolled-back cluster to its detection fence: the
+	// virtual time its restore cut is judged against. A plain round fences
+	// every cluster at its one detection time; a merged round (overlapping
+	// scopes, or detections arriving in reverse virtual-time order) keeps
+	// one fence per cluster.
+	fences map[int]vtime.Time
+	// superseded marks a starved round whose coordinator has been killed:
+	// its evRecoveryDone carries ErrKilled and is replaced by a merged
+	// round absorbing the queued failures, instead of aborting the run.
+	superseded bool
 	// startVT is the virtual time the round's restore and recovery
 	// coordinator start at: one network hop after the detection time, or
 	// — when this round chains directly behind another — one hop after
@@ -199,18 +224,26 @@ func insertPending(q []procEvent, ev procEvent) []procEvent {
 	return q
 }
 
+// starveProbe is the real-time interval at which the supervisor checks a
+// stalled plane for deterministic starvation (an active round that can
+// never complete because a queued overlapping failure killed ranks it
+// still needs). It is a liveness knob only: the supersession it triggers
+// fires at a quiescent state that is a pure function of virtual time.
+const starveProbe = 2 * time.Millisecond
+
 func (rt *Runtime) supervise(ctx context.Context) error {
 	np := rt.cfg.NP
 	finished := make([]bool, np)
 	finCount := 0
 	var cur *roundState
-	var pendingFails []procEvent
 	deadEarly := make(map[int]bool)
 	roundsRun := 0
 
 	watchdogDur := rt.cfg.watchdog()
 	watchdog := time.NewTimer(watchdogDur)
 	defer watchdog.Stop()
+	probe := time.NewTimer(starveProbe)
+	defer probe.Stop()
 
 	curRound := func() int {
 		if cur != nil {
@@ -218,8 +251,17 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 		}
 		return -1
 	}
+	bumpRounds := func() error {
+		roundsRun++
+		if roundsRun > rt.cfg.MaxRounds {
+			rt.abort()
+			return runErr(-1, curRound(), PhaseSupervise,
+				fmt.Errorf("more than MaxRounds=%d recovery rounds", rt.cfg.MaxRounds))
+		}
+		return nil
+	}
 
-	for finCount < np || cur != nil || len(pendingFails) > 0 {
+	for finCount < np || cur != nil || len(rt.pending) > 0 {
 		select {
 		case ev := <-rt.evCh:
 			// Since Go 1.23, Reset on an active timer needs no stop-and-
@@ -246,37 +288,41 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 					return runErr(-1, -1, PhaseSupervise,
 						fmt.Errorf("protocol %q cannot tolerate the injected failure of ranks %v", rt.prot.Name(), ev.ranks))
 				}
-				pendingFails = insertPending(pendingFails, ev)
+				rt.pending = insertPending(rt.pending, ev)
 				if cur == nil {
+					// Pop before beginRound: it may reach launchRound
+					// synchronously (whole scope already dead), and the
+					// re-doom pass there must only see failures this round
+					// does NOT handle.
+					head := rt.pending[0]
+					rt.pending = rt.pending[1:]
 					var err error
-					cur, err = rt.beginRound(pendingFails[0], 0, finished, &finCount, deadEarly)
+					cur, err = rt.beginRound(head, 0, finished, &finCount, deadEarly)
 					if err != nil {
 						rt.abort()
 						return err
 					}
-					pendingFails = pendingFails[1:]
-					roundsRun++
-					if roundsRun > rt.cfg.MaxRounds {
-						rt.abort()
-						return runErr(-1, curRound(), PhaseSupervise,
-							fmt.Errorf("more than MaxRounds=%d recovery rounds", rt.cfg.MaxRounds))
+					if err := bumpRounds(); err != nil {
+						return err
 					}
 				} else {
 					// The round is queued behind the active one, but its
-					// fence is declared immediately: scope members outside
-					// the active round stop deterministically at the
-					// detection time instead of running ahead until the
-					// queued round begins. Ranks shared with the active
-					// round are mid-kill/restart and are fenced when their
-					// round starts (see the DESIGN.md overlap caveat).
+					// fence is declared immediately — on every scope member,
+					// including ranks shared with the active round: a shared
+					// rank's current incarnation stops at the new detection
+					// time, and launchRound re-dooms restarted incarnations
+					// covered by a still-pending failure (Kill/RestartAt
+					// clear the fence). Nothing above ev.vt plus one hop has
+					// been admitted yet — the victim's un-quiesced endpoint
+					// still froze the plane when this event was emitted — so
+					// the cut is a pure function of virtual time.
 					for _, r := range rt.prot.RestartScope(rt.topo, ev.ranks) {
-						if !cur.info.Includes(r) {
-							rt.net.Doom(r, ev.vt)
-						}
+						rt.net.Doom(r, ev.vt)
 					}
 				}
 
 			case evDied:
+				rt.liveProcs--
 				if cur != nil && cur.waitingDeath[ev.rank] {
 					delete(cur.waitingDeath, ev.rank)
 					// The goroutine has unwound; nothing at or below the
@@ -299,6 +345,27 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 				}
 
 			case evRecoveryDone:
+				rt.recLive = false
+				if cur != nil && cur.superseded {
+					// The starved coordinator unwound after KillService;
+					// its partial stats are discarded and a merged round —
+					// the old scope plus every queued failure's — takes
+					// over at a quiescent point of the virtual execution.
+					if ev.err != nil && !errors.Is(ev.err, transport.ErrKilled) {
+						rt.abort()
+						return runErr(-1, ev.stats.Round, PhaseRecovery, ev.err)
+					}
+					var err error
+					cur, err = rt.beginMerged(cur, finished, &finCount, deadEarly)
+					if err != nil {
+						rt.abort()
+						return err
+					}
+					if err := bumpRounds(); err != nil {
+						return err
+					}
+					continue
+				}
 				if ev.err != nil {
 					rt.abort()
 					return runErr(-1, ev.stats.Round, PhaseRecovery, ev.err)
@@ -308,7 +375,7 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 				rt.rounds = append(rt.rounds, ev.stats)
 				rt.mu.Unlock()
 				cur = nil
-				if len(pendingFails) > 0 {
+				if len(rt.pending) > 0 {
 					// Chain the queued round directly behind the one that
 					// just ended: its coordinator and restores start one
 					// network hop after the previous round's end, so no
@@ -316,18 +383,16 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 					// while the previous round ran — the recovery endpoint
 					// stays attached throughout, with no unconstrained
 					// window in between.
+					head := rt.pending[0]
+					rt.pending = rt.pending[1:]
 					var err error
-					cur, err = rt.beginRound(pendingFails[0], ev.stats.EndVT.Add(rt.net.MinLatency()), finished, &finCount, deadEarly)
+					cur, err = rt.beginRound(head, ev.stats.EndVT.Add(rt.net.MinLatency()), finished, &finCount, deadEarly)
 					if err != nil {
 						rt.abort()
 						return err
 					}
-					pendingFails = pendingFails[1:]
-					roundsRun++
-					if roundsRun > rt.cfg.MaxRounds {
-						rt.abort()
-						return runErr(-1, curRound(), PhaseSupervise,
-							fmt.Errorf("more than MaxRounds=%d recovery rounds", rt.cfg.MaxRounds))
+					if err := bumpRounds(); err != nil {
+						return err
 					}
 				} else {
 					// No round follows: detach the recovery endpoint, which
@@ -339,6 +404,43 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 		case <-ctx.Done():
 			rt.abort()
 			return runErr(-1, curRound(), PhaseSupervise, fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx)))
+
+		case <-probe.C:
+			// Starvation check: an active round plus queued failures, with
+			// every goroutine parked beyond waking and no event in flight,
+			// is a round that can never complete — typically its coordinator
+			// waits on a report from a rank a queued overlapping failure
+			// already stopped. Quiescence is evaluated first: once it holds,
+			// no actor can emit an event, so the channel check cannot race.
+			// The stuck state (and everything derived from it) is a pure
+			// function of virtual time, so the supersession is too.
+			if cur != nil && len(rt.pending) > 0 {
+				expected := rt.liveProcs
+				if rt.recLive {
+					expected++
+				}
+				if rt.net.Quiescent(expected) && len(rt.evCh) == 0 {
+					if cur.recovering {
+						if !cur.superseded {
+							// Kill the starved coordinator; the merge happens
+							// when its evRecoveryDone drains back here.
+							cur.superseded = true
+							rt.net.KillService(rt.cfg.NP)
+						}
+					} else {
+						// Still draining: extend the declared round in place
+						// (no coordinator or RoundStart exists yet).
+						if err := rt.extendRound(cur, finished, &finCount, deadEarly); err != nil {
+							rt.abort()
+							return err
+						}
+						if err := bumpRounds(); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			probe.Reset(starveProbe)
 
 		case <-watchdog.C:
 			plane := rt.net.DebugState()
@@ -399,7 +501,15 @@ func (rt *Runtime) beginRound(ev procEvent, chainVT vtime.Time, finished []bool,
 	// (not Publish) because this round's start may precede the virtual
 	// time the previous round's recovery finished at.
 	rt.net.AttachAt(rt.cfg.NP, startVT)
-	rs := &roundState{info: info, startVT: startVT, waitingDeath: make(map[int]bool, len(scope))}
+	rs := &roundState{
+		info:         info,
+		startVT:      startVT,
+		waitingDeath: make(map[int]bool, len(scope)),
+		fences:       make(map[int]vtime.Time, len(info.FailedClusters)),
+	}
+	for _, c := range info.FailedClusters {
+		rs.fences[c] = info.DetectVT
+	}
 	for _, r := range scope {
 		rs.waitingDeath[r] = true
 	}
@@ -412,6 +522,120 @@ func (rt *Runtime) beginRound(ev procEvent, chainVT vtime.Time, finished []bool,
 		if deadEarly[r] {
 			delete(deadEarly, r)
 			delete(rs.waitingDeath, r)
+		}
+	}
+	if len(rs.waitingDeath) == 0 {
+		if err := rt.killAndLaunch(rs); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// absorbPending folds every queued failure into rs: scope members are added
+// to the round, and each affected cluster's fence drops to the earliest
+// detection that covers it. It returns the ranks newly added to the scope
+// and leaves the pending queue empty.
+func (rt *Runtime) absorbPending(rs *roundState) []int {
+	var added []int
+	for _, ev := range rt.pending {
+		for _, r := range rt.prot.RestartScope(rt.topo, ev.ranks) {
+			c := rt.topo.ClusterOf[r]
+			if f, ok := rs.fences[c]; !ok || ev.vt < f {
+				rs.fences[c] = ev.vt
+			}
+			if !rs.info.Includes(r) {
+				rs.info.RolledBack = append(rs.info.RolledBack, r)
+				added = append(added, r)
+			}
+		}
+	}
+	rt.pending = rt.pending[:0]
+	sort.Ints(rs.info.RolledBack)
+	rs.info.FailedClusters = rt.topo.ClustersOf(rs.info.RolledBack)
+	first := true
+	var min vtime.Time
+	for _, f := range rs.fences {
+		if first || f < min {
+			min, first = f, false
+		}
+	}
+	rs.info.DetectVT = min
+	return added
+}
+
+// extendRound handles a starved round still in its drain phase: the doomed
+// scope and the queued failures' scopes block each other (overlapping
+// scopes, or detections that reached the supervisor in reverse virtual-time
+// order), so neither drain can finish. The round is extended in place —
+// same round number, since no coordinator or RoundStart exists yet — with
+// per-cluster fences, and its start moves past everything the plane has
+// produced.
+func (rt *Runtime) extendRound(rs *roundState, finished []bool, finCount *int, deadEarly map[int]bool) error {
+	if s := rt.net.MaxFrontier().Add(rt.net.MinLatency()); s > rs.startVT {
+		rs.startVT = s
+	}
+	// Raise the recovery endpoint's bound before the new scope's frontiers
+	// stop constraining the gate, exactly as beginRound attaches before the
+	// first doom.
+	rt.net.AttachAt(rt.cfg.NP, rs.startVT)
+	added := rt.absorbPending(rs)
+	rt.obs.emit(Event{Kind: EvRecoveryStart, Rank: -1, Round: rs.info.Round, Ranks: rs.info.RolledBack, VT: rs.info.DetectVT})
+	for _, r := range added {
+		rt.net.Doom(r, rs.fences[rt.topo.ClusterOf[r]])
+		if finished[r] {
+			finished[r] = false
+			*finCount--
+		}
+		if deadEarly[r] {
+			delete(deadEarly, r)
+		} else {
+			rs.waitingDeath[r] = true
+		}
+	}
+	if len(rs.waitingDeath) == 0 && !rs.recovering {
+		return rt.killAndLaunch(rs)
+	}
+	return nil
+}
+
+// beginMerged replaces a superseded round whose coordinator was already
+// running (and has been killed): a fresh round — new number, since the old
+// RoundStart was broadcast — rolls back the union of the old scope and
+// every queued failure's, each cluster fenced at its earliest detection.
+// The old scope's restarted incarnations are doomed below their resume
+// clocks, so they die at their first wait and the whole merged scope drains
+// through the ordinary kill machinery.
+func (rt *Runtime) beginMerged(old *roundState, finished []bool, finCount *int, deadEarly map[int]bool) (*roundState, error) {
+	rs := &roundState{
+		info: rollback.RoundInfo{
+			Round:      rt.roundSeq,
+			RolledBack: append([]int(nil), old.info.RolledBack...),
+			DetectVT:   old.info.DetectVT,
+		},
+		waitingDeath: make(map[int]bool),
+		fences:       make(map[int]vtime.Time, len(old.fences)),
+	}
+	rt.roundSeq++
+	for c, f := range old.fences {
+		rs.fences[c] = f
+	}
+	rt.absorbPending(rs)
+	rs.startVT = rt.net.MaxFrontier().Add(rt.net.MinLatency())
+	// Revive the killed recovery endpoint first: its bound must constrain
+	// the plane before the scope's frontiers stop doing so.
+	rt.net.RestartServiceAt(rt.cfg.NP, rs.startVT)
+	rt.obs.emit(Event{Kind: EvRecoveryStart, Rank: -1, Round: rs.info.Round, Ranks: rs.info.RolledBack, VT: rs.info.DetectVT})
+	for _, r := range rs.info.RolledBack {
+		rt.net.Doom(r, rs.fences[rt.topo.ClusterOf[r]])
+		if finished[r] {
+			finished[r] = false
+			*finCount--
+		}
+		if deadEarly[r] {
+			delete(deadEarly, r)
+		} else {
+			rs.waitingDeath[r] = true
 		}
 	}
 	if len(rs.waitingDeath) == 0 {
@@ -458,9 +682,10 @@ func (rt *Runtime) launchRound(rs *roundState) error {
 	rt.mu.Lock()
 	for _, r := range info.RolledBack {
 		c := rt.topo.ClusterOf[r]
+		fence := rs.fences[c]
 		seq := 0
 		for _, sp := range rt.ckptDone[r] {
-			if sp.vt <= info.DetectVT && sp.seq > seq {
+			if sp.vt <= fence && sp.seq > seq {
 				seq = sp.seq
 			}
 		}
@@ -508,6 +733,19 @@ func (rt *Runtime) launchRound(rs *roundState) error {
 	for i, r := range info.RolledBack {
 		rt.net.RestartAt(r, starts[i])
 	}
+	// A queued overlapping failure's fence must survive the kill/restart
+	// cycle: Kill and RestartAt clear doomVT, so a restarted rank covered
+	// by a still-pending failure is re-doomed before its goroutine starts.
+	// A fence below the restart clock just means the incarnation dies at
+	// its first wait — deterministically, after its (non-blocking)
+	// OnRestore notifications went out.
+	for _, pf := range rt.pending {
+		for _, r := range rt.prot.RestartScope(rt.topo, pf.ranks) {
+			if info.Includes(r) {
+				rt.net.Doom(r, pf.vt)
+			}
+		}
+	}
 	for i, r := range info.RolledBack {
 		rt.startProc(r, snaps[i], &info, starts[i])
 	}
@@ -520,6 +758,7 @@ func (rt *Runtime) launchRound(rs *roundState) error {
 		}})
 		return nil
 	}
+	rt.recLive = true
 	rt.wg.Add(1)
 	go func() {
 		defer rt.wg.Done()

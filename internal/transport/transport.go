@@ -963,3 +963,68 @@ func (n *Network) AttachAt(id int, vt vtime.Time) {
 	}
 	n.dmu.Unlock()
 }
+
+// RestartServiceAt revives a killed service endpoint (the recovery process)
+// with an empty mailbox, running at frontier vt. The supervisor uses it when
+// a starved recovery round is superseded: the old coordinator was killed
+// mid-round (KillService), and the superseding merged round's coordinator
+// reuses the endpoint. Unlike AttachAt it revives a dead endpoint; unlike
+// RestartAt it touches no incarnation bookkeeping.
+func (n *Network) RestartServiceAt(id int, vt vtime.Time) {
+	n.dmu.Lock()
+	e := n.endpointLocked(id)
+	e.dead = false
+	e.state = stRunning
+	e.doomVT = infTime
+	e.frontier = vt
+	e.q = nil
+	n.refreshLocked()
+	n.dmu.Unlock()
+}
+
+// MaxFrontier reports the largest send frontier over all endpoints — an
+// upper bound on every virtual stamp the plane has produced or admitted
+// (any admitted delivery advanced some frontier to at least its stamp minus
+// one hop). At a quiescent point it is a pure function of virtual time: the
+// supervisor uses it to place a superseding merged round's start.
+func (n *Network) MaxFrontier() vtime.Time {
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
+	var max vtime.Time
+	for _, e := range n.epList {
+		if e.frontier > max {
+			max = e.frontier
+		}
+	}
+	return max
+}
+
+// Quiescent reports whether the plane is truly stuck: exactly expected
+// goroutines are parked (in Recv or AwaitTurn) and none of their wake
+// conditions — the ones refreshLocked signals on — hold. A true result is a
+// stable property: no parked goroutine can run again until the caller
+// mutates the plane, and the stuck state it describes is a pure function of
+// virtual time (every run of the same schedule reaches the identical one).
+// The supervisor uses it to detect a starved recovery round — one whose
+// coordinator waits on reports from ranks a queued overlapping failure
+// already killed — and deterministically supersede it.
+func (n *Network) Quiescent(expected int) bool {
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
+	parked := 0
+	for _, e := range n.epList {
+		switch e.waiting {
+		case wRecv:
+			parked++
+			if e.dead || (len(e.q) > 0 && n.gatePassLocked(e, e.q[0])) || n.doomReapLocked(e) {
+				return false
+			}
+		case wTurn:
+			parked++
+			if e.dead || e.turnVT > e.doomVT || n.turnPassLocked(e, e.turnVT) {
+				return false
+			}
+		}
+	}
+	return parked == expected
+}
