@@ -1,7 +1,13 @@
 GO ?= go
 STATICCHECK ?= staticcheck
+# Pinned so `make lint` reproduces across checkouts; CI installs exactly
+# this version via `make staticcheck-install`. (A go.mod tool directive
+# would be the cleaner pin, but the module deliberately has zero
+# dependencies so fully offline checkouts still build — see DESIGN.md
+# "Static analysis".)
+STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test test-short race determinism profile bench-json vet lint fmt-check check
+.PHONY: all build test test-short race determinism profile bench-json vet lint staticcheck-install fmt-check check
 
 all: check
 
@@ -46,15 +52,24 @@ bench-json:
 vet:
 	$(GO) vet ./...
 
-# Static analysis beyond vet. staticcheck is not vendored; the target
-# degrades to a notice when the binary is absent so offline checkouts
-# still pass, while CI installs it and gets the full run.
+# Static analysis beyond vet: hydee's own determinism analyzers first
+# (wallclock, maprange, lockdiscipline, selectorder — see DESIGN.md
+# "Static analysis"), then staticcheck. hydee-lint builds from the
+# standard library only, so the full determinism suite runs even on
+# offline checkouts where x/tools-based linters cannot be installed;
+# staticcheck is not vendored and degrades to a notice when absent,
+# while CI installs the pinned version and gets the full run.
 lint: vet
+	$(GO) run ./cmd/hydee-lint ./...
 	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
 		$(STATICCHECK) ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (make staticcheck-install for the pinned $(STATICCHECK_VERSION))"; \
 	fi
+
+# Install the exact staticcheck version `make lint` is pinned to.
+staticcheck-install:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

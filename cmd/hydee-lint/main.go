@@ -1,0 +1,94 @@
+// hydee-lint runs hydee's determinism analyzers (see internal/lint) over
+// Go package patterns:
+//
+//	go run ./cmd/hydee-lint ./...
+//
+// It is the compile-time half of the determinism story: `make
+// determinism` proves one schedule reproduces byte-identically, the
+// analyzers prove whole classes of nondeterminism (wall-clock reads,
+// unsorted map fan-out, lock-discipline slips, racy selects) are absent
+// from the virtual-time plane regardless of schedule.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. The tool
+// builds with the standard library only — offline checkouts run the
+// full suite (unlike staticcheck, which `make lint` skips with a
+// notice when the binary is absent).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hydee/internal/lint"
+	"hydee/internal/lint/analysis"
+	"hydee/internal/lint/load"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hydee-lint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load.Packages("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydee-lint:", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		file      string
+		line, col int
+		analyzer  string
+		message   string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range lint.Analyzers() {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				p := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{p.Filename, p.Line, p.Column, d.Category, d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "hydee-lint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.file, f.line, f.col, f.analyzer, f.message)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

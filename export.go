@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"maps"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"sync"
 )
@@ -160,6 +162,7 @@ func (x *FanoutExporter) OnEvent(ev RunEvent) {
 		return
 	}
 	x.events = append(x.events, ev)
+	//hydee:allow maprange(non-blocking nudge: each subscriber reads the shared log by cursor, wake order immaterial)
 	for sub := range x.subs {
 		select {
 		case sub.notify <- struct{}{}:
@@ -208,6 +211,10 @@ func (x *FanoutExporter) Subscribe() (<-chan RunEvent, func()) {
 			}
 			x.mu.Unlock()
 			if have {
+				// Subscriber plumbing is host-plane: cancellation racing a
+				// delivery only decides where this subscriber's replay cuts
+				// off, never what the log contains.
+				//hydee:allow selectorder(host-plane subscriber stream; cancel-vs-deliver race only truncates the replay)
 				select {
 				case out <- ev:
 					continue
@@ -220,6 +227,7 @@ func (x *FanoutExporter) Subscribe() (<-chan RunEvent, func()) {
 				x.drop(sub)
 				return
 			}
+			//hydee:allow selectorder(host-plane subscriber stream; wake-vs-cancel order does not change the log)
 			select {
 			case <-sub.notify:
 			case <-sub.stop:
@@ -248,6 +256,7 @@ func (x *FanoutExporter) Close() error {
 		return nil
 	}
 	x.closed = true
+	//hydee:allow maprange(non-blocking nudge: each subscriber reads the shared log by cursor, wake order immaterial)
 	for sub := range x.subs {
 		select {
 		case sub.notify <- struct{}{}:
@@ -388,7 +397,10 @@ func (x *runDirExporter) Close() error {
 	defer x.mu.Unlock()
 	x.closed = true
 	err := x.err
-	for _, sink := range x.runs {
+	// Sorted run order so "first error wins" picks the same error on
+	// every run, not whichever sink map iteration reached first.
+	for _, run := range slices.Sorted(maps.Keys(x.runs)) {
+		sink := x.runs[run]
 		if e := sink.exp.Close(); e != nil && err == nil {
 			err = e
 		}

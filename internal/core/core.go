@@ -271,8 +271,11 @@ func (e *engine) OnCheckpoint(s *checkpoint.Snapshot) {
 	e.gcPendingValid = true
 	e.gcPendingDate = e.date
 	e.gcPendingDeliv = make(map[int]int64, len(e.rpp))
-	for src, ch := range e.rpp {
-		w := ch.MaxDate
+	// Sorted for determinism: HeldFrom is a read today, but this loop
+	// runs on the checkpoint path where any future side effect would
+	// leak map order into the plane.
+	for _, src := range sortedKeys(e.rpp) {
+		w := e.rpp[src].MaxDate
 		if h := e.px.HeldFrom(src); h > w {
 			w = h
 		}

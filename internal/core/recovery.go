@@ -199,10 +199,12 @@ func (e *engine) onRollbackNote(q int, b RollbackNote) {
 
 	// Orphan messages from q: delivered or buffered with a date later
 	// than q's restart point (Algorithm 3 lines 13-14).
+	// Sorted dates so the phases land in rs.orphanPhases — and from there
+	// in the wire-visible Report — in a reproducible order.
 	if ch := e.rpp[q]; ch != nil {
-		for date, phase := range ch.Phases {
+		for _, date := range sortedKeys(ch.Phases) {
 			if date > b.RestartDate {
-				rs.orphanPhases = append(rs.orphanPhases, phase)
+				rs.orphanPhases = append(rs.orphanPhases, ch.Phases[date])
 			}
 		}
 	}

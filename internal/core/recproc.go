@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"maps"
 	"slices"
@@ -8,9 +9,9 @@ import (
 	"hydee/internal/rollback"
 )
 
-// sortedKeys returns the keys of an int-keyed map in ascending order, so
-// control fan-outs are emitted in a deterministic sequence.
-func sortedKeys[V any](m map[int]V) []int {
+// sortedKeys returns a map's keys in ascending order, so control
+// fan-outs are emitted in a deterministic sequence.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
 	return slices.Sorted(maps.Keys(m))
 }
 
@@ -91,7 +92,10 @@ func (rp *recovery) Run(round rollback.RoundInfo) (rollback.RecoveryStats, error
 	// — and with it the makespan — would depend on the iteration order.
 	release := func() error {
 		minBlocked := int(^uint(0) >> 1) // max int
-		for ph, n := range nbOrphan {
+		// Sorted so a protocol-violation error always names the lowest
+		// offending phase, not whichever one map order surfaced first.
+		for _, ph := range sortedKeys(nbOrphan) {
+			n := nbOrphan[ph]
 			if n < 0 {
 				return fmt.Errorf("core: recovery round %d: orphan count for phase %d went negative (replayed sends diverge from the pre-failure execution): %w", round.Round, ph, rollback.ErrNotSendDeterministic)
 			}
@@ -102,11 +106,11 @@ func (rp *recovery) Run(round rollback.RoundInfo) (rollback.RecoveryStats, error
 		// NotifySendLog: logged messages of phase p may be re-sent when no
 		// orphan of a phase strictly below p is outstanding (lines 17-20).
 		perProc := make(map[int]int)
-		for ph, procs := range logProcs {
+		for _, ph := range sortedKeys(logProcs) {
 			if ph > minBlocked {
 				continue
 			}
-			for proc := range procs {
+			for proc := range logProcs[ph] {
 				if cur, ok := perProc[proc]; !ok || ph > cur {
 					perProc[proc] = ph
 				}

@@ -1,0 +1,58 @@
+// Package analysis is a self-contained mirror of the public surface of
+// golang.org/x/tools/go/analysis that hydee's analyzers are written
+// against. The repo builds with zero module dependencies so lint runs on
+// fully offline checkouts (x/tools is not vendored and cannot be
+// fetched); analyzers written against this shim port to the real
+// go/analysis API by changing one import line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis: a named invariant plus the function
+// that checks a single package for violations of it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //hydee:allow annotations. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by `hydee-lint -help`.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Report and returns an error only for internal failures (a
+	// clean package returns (nil, nil)).
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between one analyzer run and the driver: a
+// single type-checked package plus the Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver sets it; analyzers
+	// call it (usually through Reportf).
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}

@@ -1,0 +1,155 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against expectations written in the source —
+// the same contract as golang.org/x/tools/go/analysis/analysistest,
+// reimplemented over internal/lint/load so it works with zero module
+// dependencies.
+//
+// Expectations are trailing comments of the form
+//
+//	code // want `regexp`
+//
+// one or more backquoted (or double-quoted) regexps per comment, each of
+// which must match a diagnostic reported on that line. Every diagnostic
+// must be matched by some expectation and vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hydee/internal/lint/analysis"
+	"hydee/internal/lint/load"
+)
+
+// TestData returns the canonical testdata directory for the calling
+// test's package: ./testdata relative to the working directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each named package from testdata/src/<name>, applies the
+// analyzer, and reports mismatches between its diagnostics and the
+// packages' `// want` comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := load.Dir(dir)
+		if err != nil {
+			t.Errorf("loading %s: %v", dir, err)
+			continue
+		}
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			p := pkg.Fset.Position(d.Pos)
+			for _, w := range wants {
+				if !w.matched && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+					w.matched = true
+					return
+				}
+			}
+			t.Errorf("%s:%d: unexpected diagnostic: %s", p.Filename, p.Line, d.Message)
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("%s: running %s: %v", name, a.Name, err)
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// collectWants parses every `// want` comment in the package.
+func collectWants(pkg *load.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns extracts the quoted regexps from the text after "want".
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated ` in want comment")
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			rest := s[1:]
+			end := strings.IndexByte(rest, '"')
+			if end < 0 {
+				return nil, fmt.Errorf(`unterminated " in want comment`)
+			}
+			p, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want comment must hold backquoted or quoted regexps, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

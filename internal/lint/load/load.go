@@ -1,0 +1,232 @@
+// Package load turns Go package patterns into parsed, type-checked
+// packages for the lint analyzers — a minimal, offline-friendly stand-in
+// for golang.org/x/tools/go/packages.
+//
+// Dependencies are never type-checked from source: the loader shells out
+// to `go list -export`, which compiles each dependency (standard library
+// included) into the local build cache and reports the export-data file,
+// and the stock go/importer reads those files back. Only the packages
+// under analysis are parsed, so the loader needs nothing beyond the Go
+// toolchain already required to build the repo.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path; for packages loaded with Dir it is
+	// the package name instead (there is no module context).
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// exportCache maps import paths to export-data files discovered by prior
+// `go list -export` runs; shared so repeated Dir calls (analysistest)
+// resolve the standard library once.
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{}
+)
+
+// goList runs `go list -export -deps -json` on args and records every
+// reported export file in the cache, returning the listed packages.
+func goList(dir string, args []string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-export", "-deps", "-json", "--"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list -export %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listedPkg
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -export: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list -export: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	exportMu.Lock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportCache[p.ImportPath] = p.Export
+		}
+	}
+	exportMu.Unlock()
+	return pkgs, nil
+}
+
+// newImporter returns an importer resolving every import from the
+// export-data files the cache knows about.
+func newImporter(fset *token.FileSet) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		file := exportCache[path]
+		exportMu.Unlock()
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q (not listed by go list -export)", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Packages loads the module packages matching patterns (e.g. "./...")
+// rooted at dir ("" means the current directory). Test files are not
+// loaded: the determinism invariants guard the virtual-time plane, and
+// tests are host-plane code by definition.
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := check(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		out = append(out, &Package{PkgPath: lp.ImportPath, Fset: fset, Files: files, Types: pkg, TypesInfo: info})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// Dir loads the single package in dir (testdata layout: no module
+// membership, standard-library imports only). The package's PkgPath is
+// its package name, which is how testdata opts into the deterministic
+// set (see lint.deterministicPkg).
+func Dir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if path != "unsafe" {
+				importSet[path] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	var missing []string
+	exportMu.Lock()
+	for path := range importSet {
+		if exportCache[path] == "" {
+			missing = append(missing, path)
+		}
+	}
+	exportMu.Unlock()
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		if _, err := goList(dir, missing); err != nil {
+			return nil, err
+		}
+	}
+	name := files[0].Name.Name
+	pkg, info, err := check(fset, newImporter(fset), name, files)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", dir, err)
+	}
+	return &Package{PkgPath: name, Fset: fset, Files: files, Types: pkg, TypesInfo: info}, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	info := newInfo()
+	pkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

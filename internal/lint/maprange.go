@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hydee/internal/lint/analysis"
+)
+
+// Maprange flags `for ... range` over a map in deterministic packages
+// when the loop body's effects could depend on Go's randomized iteration
+// order: channel sends, calls (which may emit events or mutate plane
+// state), appends of loop-dependent values to state declared outside the
+// loop, and writes to outer state that are not per-key slots.
+//
+// Order-independent shapes pass without annotation:
+//   - the sorted-keys idiom's collection half — a body that only appends
+//     the range *key* to an outer slice (sorted before use);
+//   - per-key writes, m2[k] = ... keyed by the loop's own range key
+//     (each iteration touches a distinct slot);
+//   - reads, builtin calls (len, delete, ...), and plain assignments to
+//     function-local scalars (commutative accumulators like min/max —
+//     a documented soundness gap, see DESIGN.md).
+var Maprange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag range-over-map loops in deterministic packages whose body sends, calls, or " +
+		"mutates outer state (map order is randomized); iterate sorted keys or annotate",
+	Run: runMaprange,
+}
+
+func runMaprange(pass *analysis.Pass) (interface{}, error) {
+	if !deterministicPkg(pass) {
+		return nil, nil
+	}
+	allow := buildAllowlist(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if allow.allowed(pass.Fset, rs.Pos(), "maprange") {
+				return true // nested loops are still visited independently
+			}
+			if why := mapLoopViolation(pass, rs); why != "" {
+				pass.Reportf(rs.Pos(), "range over map %s in nondeterministic order while the body %s; "+
+					"iterate sorted keys instead, or annotate //hydee:allow maprange(reason)",
+					render(rs.X), why)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// mapLoopViolation walks the loop body and returns a description of the
+// first order-sensitive effect, or "" if the body is order-independent
+// under the analyzer's rules.
+func mapLoopViolation(pass *analysis.Pass, rs *ast.RangeStmt) string {
+	keyObj := rangeVarObj(pass, rs.Key)
+	why := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			why = "sends on a channel"
+		case *ast.GoStmt:
+			why = "starts a goroutine"
+		case *ast.DeferStmt:
+			why = "defers a call"
+		case *ast.CallExpr:
+			if name, bad := callViolation(pass, n); bad {
+				why = fmt.Sprintf("calls %s, which may emit events or mutate plane state", name)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if w := writeViolation(pass, rs, keyObj, lhs, rhs); w != "" {
+					why = w
+					break
+				}
+			}
+		case *ast.IncDecStmt:
+			why = writeViolation(pass, rs, keyObj, n.X, nil)
+		}
+		return why == ""
+	})
+	return why
+}
+
+// allowedBuiltins are side-effect-shaped builtins whose use inside a
+// range-over-map stays order-independent (append is handled separately
+// through the assignment it feeds).
+var allowedBuiltins = map[string]bool{
+	"len": true, "cap": true, "delete": true, "make": true, "new": true,
+	"min": true, "max": true, "copy": true, "clear": true, "append": true,
+	"real": true, "imag": true, "complex": true, "panic": true,
+	"print": true, "println": true,
+}
+
+// callViolation reports whether call is a non-builtin, non-conversion
+// call, returning its rendered name.
+func callViolation(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return "", false // type conversion
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			return "", !allowedBuiltins[b.Name()]
+		}
+	}
+	return render(call.Fun), true
+}
+
+// writeViolation classifies one assignment target inside the loop body.
+// rhs is the paired right-hand side when the assignment is 1:1 (used to
+// recognize append).
+func writeViolation(pass *analysis.Pass, rs *ast.RangeStmt, keyObj types.Object, lhs, rhs ast.Expr) string {
+	lhs = ast.Unparen(lhs)
+	root := rootObj(pass, lhs)
+	if root == nil || declaredWithin(root, rs) {
+		return "" // loop-local target (includes the range variables)
+	}
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltin(pass, call, "append") {
+		for _, arg := range call.Args[1:] {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok || keyObj == nil || pass.TypesInfo.Uses[id] != keyObj {
+				return fmt.Sprintf("appends loop-dependent values to %s declared outside the loop "+
+					"(append only the range key and sort, the sorted-keys idiom)", render(lhs))
+			}
+		}
+		return "" // sorted-keys idiom: collecting the keys
+	}
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if root.Parent() == pass.Pkg.Scope() {
+			return fmt.Sprintf("writes package-level variable %s", lhs.Name)
+		}
+		return "" // plain local accumulator (commutative by convention)
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(lhs.Index).(*ast.Ident); ok && keyObj != nil && pass.TypesInfo.Uses[id] == keyObj {
+			return "" // per-key slot: each iteration writes a distinct key
+		}
+		return fmt.Sprintf("writes %s at a key that is not this loop's range key", render(lhs.X))
+	default: // field or pointer write through an outer variable
+		return fmt.Sprintf("mutates %s, state declared outside the loop", render(lhs))
+	}
+}
+
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// rangeVarObj resolves a range clause variable (key or value) to its
+// object; nil for `_`, absent, or non-identifier clauses.
+func rangeVarObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// rootObj walks to the leftmost identifier of an lvalue (x in
+// x.f[i].g) and returns its object.
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[v]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside the range
+// statement (loop-local variables, including the range clause's own).
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() != token.NoPos && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+}

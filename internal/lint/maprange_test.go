@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hydee/internal/lint"
+	"hydee/internal/lint/analysistest"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Maprange, "maprange_det")
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hydee/internal/lint/analysis"
+)
+
+// Selectorder flags select statements with two or more communication
+// cases in deterministic packages: when several cases are ready, Go
+// picks one pseudo-randomly, so anything observable that depends on the
+// choice differs run to run. A single case plus `default` is fine (the
+// choice is determined by readiness alone). Selects whose outcome is
+// genuinely order-independent — drain loops that discard either way,
+// non-blocking nudges — carry a //hydee:allow selectorder(reason)
+// annotation saying why.
+var Selectorder = &analysis.Analyzer{
+	Name: "selectorder",
+	Doc: "flag multi-case selects in deterministic packages (ready-case choice is randomized); " +
+		"annotate //hydee:allow selectorder(reason) when the outcome is order-independent",
+	Run: runSelectorder,
+}
+
+func runSelectorder(pass *analysis.Pass) (interface{}, error) {
+	if !deterministicPkg(pass) {
+		return nil, nil
+	}
+	allow := buildAllowlist(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			comm := 0
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					comm++
+				}
+			}
+			if comm >= 2 && !allow.allowed(pass.Fset, sel.Pos(), "selectorder") {
+				pass.Reportf(sel.Pos(), "select with %d communication cases: Go chooses among ready cases "+
+					"pseudo-randomly; restructure, or annotate //hydee:allow selectorder(reason) stating why "+
+					"the outcome is order-independent", comm)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// render prints an expression for diagnostics.
+func render(e ast.Expr) string { return types.ExprString(e) }

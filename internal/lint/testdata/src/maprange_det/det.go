@@ -1,0 +1,96 @@
+// Package maprange_det seeds maprange violations and the
+// order-independent shapes that must pass without annotation.
+package maprange_det
+
+import (
+	"fmt"
+	"sort"
+)
+
+func send(m map[int]string, ch chan<- string) {
+	for _, v := range m { // want `range over map m in nondeterministic order while the body sends on a channel`
+		ch <- v
+	}
+}
+
+func call(m map[int]string) {
+	for _, v := range m { // want `range over map m in nondeterministic order while the body calls fmt.Println`
+		fmt.Println(v)
+	}
+}
+
+func appendValues(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `appends loop-dependent values to out declared outside the loop`
+		out = append(out, v)
+	}
+	return out
+}
+
+// sortedKeys is the blessed idiom: collect only the keys, sort, then
+// range over the slice. Neither loop may be flagged.
+func sortedKeys(m map[int]string, ch chan<- string) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		ch <- m[k]
+	}
+}
+
+// perKeyWrites touch a distinct slot per iteration: order-independent.
+func perKeyWrites(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// localAccumulator is a commutative min: plain assignment to a
+// function-local scalar stays allowed (documented soundness gap).
+func localAccumulator(m map[int]int) int {
+	lo := int(^uint(0) >> 1)
+	for _, v := range m {
+		if v < lo {
+			lo = v
+		}
+	}
+	return lo
+}
+
+// pruning deletes from the ranged map itself: delete is a builtin and
+// well-defined during iteration.
+func pruning(m map[int]int, cutoff int) {
+	for k, v := range m {
+		if v < cutoff {
+			delete(m, k)
+		}
+	}
+}
+
+func offKeyWrite(m map[int]int, other map[int]int) {
+	for _, v := range m { // want `writes other at a key that is not this loop's range key`
+		other[v] = 1
+	}
+}
+
+func fieldWrite(m map[int]int, s *struct{ sum int }) {
+	for _, v := range m { // want `mutates s.sum, state declared outside the loop`
+		s.sum += v
+	}
+}
+
+// annotated shows the escape hatch for a genuinely order-independent
+// effect the analyzer cannot prove.
+func annotated(m map[int]chan struct{}) {
+	//hydee:allow maprange(non-blocking nudge; delivery order immaterial)
+	for _, ch := range m {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}

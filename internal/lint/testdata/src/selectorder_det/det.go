@@ -1,0 +1,45 @@
+// Package selectorder_det seeds selectorder violations.
+package selectorder_det
+
+func race(a, b chan int) int {
+	select { // want `select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func threeWay(a, b chan int, done chan struct{}) int {
+	select { // want `select with 3 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	case <-done:
+		return 0
+	}
+}
+
+// nonBlocking is one comm case plus default: readiness alone decides.
+func nonBlocking(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return -1
+	}
+}
+
+// annotated drain: either order empties both channels before returning,
+// so the outcome is order-independent.
+func annotated(evs chan int, done chan struct{}) {
+	for {
+		//hydee:allow selectorder(drain loop; stray events are discarded either way)
+		select {
+		case <-evs:
+		case <-done:
+			return
+		}
+	}
+}

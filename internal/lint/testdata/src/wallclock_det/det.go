@@ -1,0 +1,46 @@
+// Package wallclock_det seeds wallclock violations: the "_det" name
+// suffix opts the package into the deterministic set (see
+// lint.deterministicPkg).
+package wallclock_det
+
+import (
+	"math/rand"
+	"time"
+)
+
+const tick = 2 * time.Millisecond // constants are arithmetic, not clock reads
+
+func clockReads() time.Duration {
+	start := time.Now()      // want `time.Now reads the wall clock`
+	time.Sleep(tick)         // want `time.Sleep reads the wall clock`
+	<-time.After(tick)       // want `time.After reads the wall clock`
+	t := time.NewTimer(tick) // want `time.NewTimer reads the wall clock`
+	defer t.Stop()           // methods on a timer are fine
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `math/rand.Shuffle draws from the global rand source`
+	return rand.Intn(10)               // want `math/rand.Intn draws from the global rand source`
+}
+
+// seededRand is the allowed construction: deterministic by seed, the
+// idiom internal/graph and internal/apps use for workloads.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// allowedProbe shows the escape hatch: a wall-clock liveness knob with
+// no virtual-time effect.
+func allowedProbe() {
+	//hydee:allow wallclock(liveness probe; fires only at quiescence)
+	time.Sleep(tick)
+	time.Sleep(tick) //hydee:allow wallclock(same-line suppression form)
+}
+
+// emptyReason does not suppress: the annotation grammar requires one.
+func emptyReason() {
+	//hydee:allow wallclock()
+	time.Sleep(tick) // want `time.Sleep reads the wall clock`
+}

@@ -1,0 +1,15 @@
+// Package wallclock_free is host-plane code (no "_det" suffix): the
+// wallclock analyzer must stay silent here — cmd binaries and the HTTP
+// server keep their wall clock.
+package wallclock_free
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wall() time.Time {
+	rand.Seed(42)
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hydee/internal/lint/analysis"
+)
+
+// Wallclock forbids reading the wall clock or the global math/rand
+// source inside the virtual-time plane. Everything observable there must
+// be a pure function of virtual time: a time.Now() or an unseeded
+// rand.Intn() in an event-emitting path makes two runs of the same
+// experiment diverge. Explicitly seeded generators
+// (rand.New(rand.NewSource(seed))) stay allowed — they are deterministic
+// by construction and are how internal/graph and internal/apps build
+// reproducible workloads.
+var Wallclock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock reads (time.Now/Since/Sleep/After/timers) and global math/rand " +
+		"functions in deterministic packages; seeded rand.New(rand.NewSource(...)) is allowed",
+	Run: runWallclock,
+}
+
+// bannedTime is the wall-clock surface of package time: functions that
+// read the clock or schedule against it. Conversions and constants
+// (time.Duration, time.Millisecond) are fine — they are arithmetic, not
+// clock reads.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandOK is the allowed subset of math/rand (and rand/v2)
+// package-level functions: constructors for explicitly seeded
+// generators. Every other package-level function draws from the global
+// source, which is seeded nondeterministically.
+var seededRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2 seeded constructors
+}
+
+func runWallclock(pass *analysis.Pass) (interface{}, error) {
+	if !deterministicPkg(pass) {
+		return nil, nil
+	}
+	allow := buildAllowlist(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil { // methods (timer.Stop, rng.Intn) are fine
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] && !allow.allowed(pass.Fset, sel.Pos(), "wallclock") {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock: forbidden in deterministic package %s; "+
+						"use virtual time, or annotate //hydee:allow wallclock(reason)", fn.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandOK[fn.Name()] && !allow.allowed(pass.Fset, sel.Pos(), "wallclock") {
+					pass.Reportf(sel.Pos(), "%s.%s draws from the global rand source: forbidden in deterministic package %s; "+
+						"use rand.New(rand.NewSource(seed)), or annotate //hydee:allow wallclock(reason)",
+						fn.Pkg().Path(), fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

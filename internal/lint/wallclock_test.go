@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hydee/internal/lint"
+	"hydee/internal/lint/analysistest"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Wallclock, "wallclock_det")
+}
+
+// TestWallclockHostPlane asserts the analyzer is silent outside the
+// deterministic set: the testdata package has wall-clock reads and no
+// want comments.
+func TestWallclockHostPlane(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Wallclock, "wallclock_free")
+}

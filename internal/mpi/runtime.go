@@ -240,8 +240,10 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 	roundsRun := 0
 
 	watchdogDur := rt.cfg.watchdog()
+	//hydee:allow wallclock(watchdog is a liveness knob: it only aborts hung runs, never shapes virtual time)
 	watchdog := time.NewTimer(watchdogDur)
 	defer watchdog.Stop()
+	//hydee:allow wallclock(starvation probe fires only at transport quiescence, a pure function of virtual time)
 	probe := time.NewTimer(starveProbe)
 	defer probe.Stop()
 
@@ -262,6 +264,10 @@ func (rt *Runtime) supervise(ctx context.Context) error {
 	}
 
 	for finCount < np || cur != nil || len(rt.pending) > 0 {
+		// The evCh case is the only one that shapes virtual time, and its
+		// events arrive in plane-determined order; watchdog/probe are
+		// wall-clock liveness aids that abort or inspect quiescent state.
+		//hydee:allow selectorder(only evCh affects virtual time; timer cases abort or probe quiescence)
 		select {
 		case ev := <-rt.evCh:
 			// Since Go 1.23, Reset on an active timer needs no stop-and-
@@ -797,6 +803,7 @@ func (rt *Runtime) drainAndJoin() {
 		close(done)
 	}()
 	for {
+		//hydee:allow selectorder(drain loop: stray events are discarded either way, the outcome is join completion)
 		select {
 		case <-rt.evCh:
 		case <-done:

@@ -307,7 +307,7 @@ func (e *Endpoint) Recv(now vtime.Time) (*Msg, error) {
 				return nil, e.reapLocked()
 			}
 			m := heap.Pop(&e.q).(*Msg)
-			e.delivered(m, now)
+			e.deliveredLocked(m, now)
 			return m, nil
 		}
 		if n.doomReapLocked(e) {
@@ -343,12 +343,12 @@ func (e *Endpoint) reapLocked() error {
 	return ErrKilled
 }
 
-// delivered records the state transition of a successful pop: the receiver
+// deliveredLocked records the state transition of a successful pop: the receiver
 // runs again, and — for Ctl and Marker messages, which merge the receiver's
 // clock to the arrival stamp before it can act — its frontier advances to
 // the delivered stamp. App deliveries guarantee only the clock the receiver
 // blocked with (a non-matching message is buffered without a merge).
-func (e *Endpoint) delivered(m *Msg, now vtime.Time) {
+func (e *Endpoint) deliveredLocked(m *Msg, now vtime.Time) {
 	e.state = stRunning
 	f := now
 	if m.Kind != App && m.ArriveVT > f {
@@ -383,7 +383,7 @@ func (e *Endpoint) TryRecv(now vtime.Time) (m *Msg, ok bool, err error) {
 		return nil, false, e.reapLocked()
 	}
 	m = heap.Pop(&e.q).(*Msg)
-	e.delivered(m, now)
+	e.deliveredLocked(m, now)
 	return m, true, nil
 }
 
@@ -471,6 +471,7 @@ func NewNetwork(np int, model netmodel.Model) *Network {
 		n.eps[i] = e
 		n.epList = append(n.epList, e)
 	}
+	//hydee:allow lockdiscipline(constructor: the network is not shared yet, no lock needed)
 	n.refreshLocked()
 	return n
 }
