@@ -29,8 +29,10 @@ race:
 # determinism"). Includes the virtual-time kill-fence configurations: a
 # failure landing mid-checkpoint-wave under a storage bandwidth model,
 # exact-tie kill stamps, two victims in one round, a failure during an
-# in-progress recovery round, and the blocked-scope-peer drain (the naive
-# pre-kill drain deadlock regression).
+# in-progress recovery round, the blocked-scope-peer drain (the naive
+# pre-kill drain deadlock regression), and the E6 store-fault sweep
+# (shard kills ordered in virtual time during recovery; shared/sharded/
+# ec/replica survival outcomes must be byte-identical run-to-run).
 determinism:
 	$(GO) test -race -count=2 -run 'Reproducible|ByteStable|SchedulingIndependent|AwaitTurn' ./internal/harness/ ./internal/transport/ ./internal/mpi/
 

@@ -1,0 +1,57 @@
+package hydee_test
+
+// BENCH_hydee.json is an append-only JSONL throughput series over
+// commits (make bench-json adds one line per invocation). CI runs this
+// test, so a malformed append — partial line, non-JSON garbage, a
+// rewind of the timestamp order — fails the build instead of quietly
+// corrupting the series.
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestBenchJSONLWellFormed(t *testing.T) {
+	f, err := os.Open("BENCH_hydee.json")
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skip("no BENCH_hydee.json in this checkout")
+		}
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var prev time.Time
+	lines := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var row struct {
+			TS string `json:"ts"`
+			NP int    `json:"np"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("line %d is not a JSON object: %v\n%s", lines, err, sc.Text())
+		}
+		ts, err := time.Parse(time.RFC3339, row.TS)
+		if err != nil {
+			t.Fatalf("line %d: bad ts %q: %v", lines, row.TS, err)
+		}
+		if ts.Before(prev) {
+			t.Fatalf("line %d: ts %s goes backwards (previous %s); the series is append-only", lines, row.TS, prev.Format(time.RFC3339))
+		}
+		prev = ts
+		if row.NP <= 0 {
+			t.Fatalf("line %d: np = %d, want positive", lines, row.NP)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("BENCH_hydee.json exists but holds no points")
+	}
+}

@@ -113,7 +113,10 @@ func main() {
 	fmt.Println(hydee.FormatE4(rows))
 	fmt.Println("every recovered execution was validated against its failure-free digests ✓")
 
-	if _, shards, _ := hydee.ParseStoreSpec(store.Spec); shards > 1 && store.BPS > 0 {
+	// The E5 burst comparison is about plain sharding; redundancy specs
+	// (ec, replica) have their own shard-loss sweep (harness E6).
+	if _, opts, _ := hydee.ParseStoreSpec(store.Spec); opts.Shards > 1 && opts.Parity == 0 && opts.Replicas == 0 && store.BPS > 0 {
+		shards := opts.Shards
 		burst, err := harness.CheckpointBurstSharded(ctx, k, *np, *iters, *ckpt, cl.Assign, store.BPS, shards, model)
 		if err != nil {
 			log.Fatal(err)

@@ -98,8 +98,8 @@ func (e *Engine) makeStore() (checkpoint.Store, error) {
 	if opts.WriteBPS == 0 && opts.ReadBPS == 0 {
 		opts.WriteBPS, opts.ReadBPS = e.storeWriteBPS, e.storeReadBPS
 	}
-	if opts.Placement == nil && opts.Shards > 1 && e.cfg.Topo != nil {
-		opts.Placement = ClusterPlacement(e.cfg.Topo, opts.Shards)
+	if n := opts.totalShards(); opts.Placement == nil && n > 1 && e.cfg.Topo != nil {
+		opts.Placement = ClusterPlacement(e.cfg.Topo, n)
 	}
 	return e.storeMake(opts)
 }

@@ -1,0 +1,238 @@
+package checkpoint
+
+// Deterministic binary serialization of snapshots, and the self-verifying
+// fragment container the redundant stores (ECStore, ReplicatedStore) keep
+// on their shards. gob is deliberately not used here: gob's type-descriptor
+// stream depends on encoder history, while redundancy needs every fragment
+// of one snapshot to be a pure function of the snapshot alone so encode →
+// split → reconstruct → decode is byte-stable across runs.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"hydee/internal/transport"
+	"hydee/internal/vtime"
+)
+
+// snapMagic/fragMagic version the two on-shard formats; bump on layout
+// changes so stale persisted fragments are rejected, not misdecoded.
+const (
+	snapMagic = "HYSN1"
+	fragMagic = "HYFR1"
+)
+
+// EncodeSnapshot serializes a snapshot into a deterministic byte blob:
+// equal snapshots encode to equal bytes, independent of encoder history.
+// Mailbox messages must be application messages — a control message
+// (CtlBody != nil) never survives into a mailbox capture, and encoding
+// one is an error rather than a silent drop.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	b := make([]byte, 0, 64+len(s.AppState)+len(s.ProtState))
+	b = append(b, snapMagic...)
+	b = binary.AppendVarint(b, int64(s.Rank))
+	b = binary.AppendVarint(b, int64(s.Seq))
+	b = binary.AppendVarint(b, int64(s.TakenVT))
+	b = binary.AppendVarint(b, int64(s.CkptCallIdx))
+	b = binary.AppendVarint(b, s.CollSeq)
+	b = binary.AppendVarint(b, s.ModelBytes)
+	b = appendBytes(b, s.AppState)
+	b = appendBytes(b, s.ProtState)
+	b = binary.AppendUvarint(b, uint64(len(s.Mailbox)))
+	for i, m := range s.Mailbox {
+		if m.CtlBody != nil {
+			return nil, fmt.Errorf("checkpoint: encode snapshot rank %d seq %d: mailbox message %d carries a control body", s.Rank, s.Seq, i)
+		}
+		b = binary.AppendVarint(b, int64(m.Src))
+		b = binary.AppendVarint(b, int64(m.Dst))
+		b = binary.AppendVarint(b, int64(m.Kind))
+		b = binary.AppendVarint(b, int64(m.Tag))
+		b = binary.AppendVarint(b, m.Date)
+		b = binary.AppendVarint(b, int64(m.Phase))
+		b = binary.AppendVarint(b, int64(m.Inc))
+		b = binary.AppendVarint(b, int64(m.IncSeen))
+		b = binary.AppendVarint(b, int64(m.Epoch))
+		b = binary.AppendVarint(b, int64(m.Round))
+		b = binary.AppendVarint(b, int64(m.WireLen))
+		b = binary.AppendVarint(b, int64(m.PiggyLen))
+		b = appendBytes(b, m.Data)
+		b = binary.AppendVarint(b, int64(m.SendVT))
+		b = binary.AppendVarint(b, int64(m.ArriveVT))
+	}
+	return b, nil
+}
+
+// DecodeSnapshot reverses EncodeSnapshot. The returned snapshot shares
+// nothing with the input slice's backing beyond fresh copies.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	d := &decoder{b: b}
+	if !d.literal(snapMagic) {
+		return nil, fmt.Errorf("checkpoint: snapshot blob lacks %q header", snapMagic)
+	}
+	s := &Snapshot{}
+	s.Rank = int(d.varint())
+	s.Seq = int(d.varint())
+	s.TakenVT = vtime.Time(d.varint())
+	s.CkptCallIdx = int(d.varint())
+	s.CollSeq = d.varint()
+	s.ModelBytes = d.varint()
+	s.AppState = d.bytes()
+	s.ProtState = d.bytes()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(b)) {
+		return nil, fmt.Errorf("checkpoint: snapshot blob claims %d mailbox messages in %d bytes", n, len(b))
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m := &transport.Msg{}
+		m.Src = int(d.varint())
+		m.Dst = int(d.varint())
+		m.Kind = transport.Kind(d.varint())
+		m.Tag = int(d.varint())
+		m.Date = d.varint()
+		m.Phase = int(d.varint())
+		m.Inc = int32(d.varint())
+		m.IncSeen = int32(d.varint())
+		m.Epoch = int(d.varint())
+		m.Round = int(d.varint())
+		m.WireLen = int(d.varint())
+		m.PiggyLen = int(d.varint())
+		m.Data = d.bytes()
+		m.SendVT = vtime.Time(d.varint())
+		m.ArriveVT = vtime.Time(d.varint())
+		s.Mailbox = append(s.Mailbox, m)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("checkpoint: decode snapshot: %w", d.err)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("checkpoint: decode snapshot: %d trailing bytes", len(d.b))
+	}
+	return s, nil
+}
+
+// fragment is the unit the redundant stores place on one shard: either
+// one erasure-coded piece of a snapshot blob (ECStore, K data of K+M
+// total) or one full replica of it (ReplicatedStore, K=1). BlobLen is
+// the pre-padding blob length reconstruction must trim back to, and the
+// trailing FNV-64a checksum makes corruption detectable: a fragment
+// that fails verification counts as erased, which the code tolerates up
+// to its redundancy.
+type fragment struct {
+	K, M, Index int
+	// BlobLen is the length of the whole encoded snapshot the fragment
+	// belongs to.
+	BlobLen int
+	Payload []byte
+}
+
+// marshal renders the fragment with its checksum trailer.
+func (f *fragment) marshal() []byte {
+	b := make([]byte, 0, 32+len(f.Payload))
+	b = append(b, fragMagic...)
+	b = binary.AppendUvarint(b, uint64(f.K))
+	b = binary.AppendUvarint(b, uint64(f.M))
+	b = binary.AppendUvarint(b, uint64(f.Index))
+	b = binary.AppendUvarint(b, uint64(f.BlobLen))
+	b = appendBytes(b, f.Payload)
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum(b)
+}
+
+// parseFragment decodes and verifies a marshaled fragment. ok is false
+// for anything malformed or checksum-damaged — the caller treats such a
+// shard as lost.
+func parseFragment(b []byte) (fragment, bool) {
+	if len(b) < 8 {
+		return fragment{}, false
+	}
+	body, sum := b[:len(b)-8], b[len(b)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if string(h.Sum(nil)) != string(sum) {
+		return fragment{}, false
+	}
+	d := &decoder{b: body}
+	if !d.literal(fragMagic) {
+		return fragment{}, false
+	}
+	var f fragment
+	f.K = int(d.uvarint())
+	f.M = int(d.uvarint())
+	f.Index = int(d.uvarint())
+	f.BlobLen = int(d.uvarint())
+	f.Payload = d.bytes()
+	if d.err != nil || len(d.b) != 0 || f.K < 1 || f.M < 0 || f.Index < 0 || f.BlobLen < 0 {
+		return fragment{}, false
+	}
+	return f, true
+}
+
+// appendBytes writes a length-prefixed byte string.
+func appendBytes(b, s []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// decoder is a cursor over an encoded blob; the first error sticks and
+// poisons every later read, so call sites stay linear.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated or malformed field")
+	}
+}
+
+func (d *decoder) literal(s string) bool {
+	if d.err != nil || len(d.b) < len(s) || string(d.b[:len(s)]) != s {
+		d.fail()
+		return false
+	}
+	d.b = d.b[len(s):]
+	return true
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return nil
+	}
+	out := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return out
+}

@@ -1,0 +1,130 @@
+package checkpoint
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hydee/internal/transport"
+)
+
+// codecSnap builds a representative snapshot with mailbox traffic.
+func codecSnap(rank, seq int) *Snapshot {
+	return &Snapshot{
+		Rank:        rank,
+		Seq:         seq,
+		TakenVT:     123456789,
+		CkptCallIdx: 7,
+		CollSeq:     42,
+		AppState:    []byte{0x01, 0x02, 0xFF, 0x00, 0x7F},
+		ProtState:   []byte("protocol table"),
+		Mailbox: []*transport.Msg{
+			{
+				Src: 3, Dst: rank, Kind: transport.App, Tag: 9,
+				Date: -5, Phase: 2, Inc: 1, IncSeen: 1,
+				Epoch: seq - 1, Round: 0, WireLen: 4096, PiggyLen: 16,
+				Data: []byte("payload"), SendVT: 1000, ArriveVT: 2000,
+			},
+			{Src: 5, Dst: rank, Kind: transport.App, Data: nil, ArriveVT: 2500},
+		},
+		ModelBytes: 1 << 20,
+	}
+}
+
+// TestSnapshotCodecRoundTrip: every exported field, mailbox included,
+// survives encode → decode.
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	s := codecSnap(2, 3)
+	blob, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip changed the snapshot:\n  in  %+v\n  out %+v", s, got)
+	}
+	// Empty-mailbox, empty-state snapshots round-trip too.
+	min := &Snapshot{Rank: 1, Seq: 1}
+	blob, err = EncodeSnapshot(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != 1 || got.Seq != 1 || len(got.Mailbox) != 0 {
+		t.Fatalf("minimal snapshot round trip: %+v", got)
+	}
+}
+
+// TestSnapshotCodecDeterministic: encoding is a pure function — no
+// encoder history, no map iteration.
+func TestSnapshotCodecDeterministic(t *testing.T) {
+	a, err := EncodeSnapshot(codecSnap(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeSnapshot(codecSnap(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of equal snapshots differ")
+	}
+}
+
+// TestSnapshotCodecRejectsCtl: control messages never belong in a
+// mailbox capture; encoding one must fail loudly.
+func TestSnapshotCodecRejectsCtl(t *testing.T) {
+	s := codecSnap(0, 1)
+	s.Mailbox[0].CtlBody = struct{ X int }{1}
+	if _, err := EncodeSnapshot(s); err == nil {
+		t.Fatal("snapshot with a control-message mailbox encoded without error")
+	}
+}
+
+// TestSnapshotCodecRejectsDamage: garbage, truncation and trailing
+// bytes all fail instead of misdecoding.
+func TestSnapshotCodecRejectsDamage(t *testing.T) {
+	blob, err := EncodeSnapshot(codecSnap(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot([]byte("not a snapshot")); err == nil {
+		t.Error("garbage decoded")
+	}
+	if _, err := DecodeSnapshot(blob[:len(blob)/2]); err == nil {
+		t.Error("truncated blob decoded")
+	}
+	if _, err := DecodeSnapshot(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+// TestFragmentChecksum: a marshaled fragment parses back exactly, and
+// any single flipped byte is detected.
+func TestFragmentChecksum(t *testing.T) {
+	f := &fragment{K: 4, M: 2, Index: 3, BlobLen: 999, Payload: []byte("fragment payload bytes")}
+	b := f.marshal()
+	got, ok := parseFragment(b)
+	if !ok {
+		t.Fatal("clean fragment rejected")
+	}
+	if got.K != f.K || got.M != f.M || got.Index != f.Index || got.BlobLen != f.BlobLen || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("fragment fields changed: %+v vs %+v", got, f)
+	}
+	for i := range b {
+		dam := append([]byte(nil), b...)
+		dam[i] ^= 0x40
+		if _, ok := parseFragment(dam); ok {
+			t.Fatalf("flipped byte %d went undetected", i)
+		}
+	}
+	if _, ok := parseFragment([]byte("short")); ok {
+		t.Error("short input accepted")
+	}
+}

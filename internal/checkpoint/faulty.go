@@ -1,0 +1,268 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+
+	"hydee/internal/vtime"
+)
+
+// Storage fault injection: FaultyStore makes shards of a checkpoint
+// store fail at a scheduled virtual time, the storage-side counterpart
+// of rank kills. A fault is a pure predicate on the virtual time a store
+// operation is issued at — and the runtime already orders every save
+// through Network.AwaitTurn and issues restore loads at the recovery
+// round's deterministic start time — so fault activation is totally
+// ordered against all other store traffic on the same virtual-time event
+// plane as rank failures, and faulted runs stay byte-reproducible.
+
+// FaultKind selects what happens to a faulted shard.
+type FaultKind int
+
+const (
+	// FaultKill makes the shard unavailable from AtVT on: writes issued
+	// at or after AtVT are silently dropped, reads fail. Data written
+	// before the kill is NOT recoverable through this shard — the model
+	// is a lost storage target, not a transient outage.
+	FaultKill FaultKind = iota
+	// FaultCorrupt flips bytes in every snapshot read from the shard at
+	// or after AtVT. Self-verifying backends (ec, replica) detect the
+	// damage and treat the shard as lost; plain backends return the
+	// corrupted snapshot undetected (see the DESIGN.md failure-semantics
+	// table).
+	FaultCorrupt
+	// FaultDegrade multiplies the shard's modeled write cost and read
+	// duration by Factor from AtVT on — a slow disk, not a dead one.
+	// The write-cost inflation persists in the stored snapshot's modeled
+	// size (that is what keeps the shard's contention window honest), so
+	// a snapshot both written and read through a degraded shard pays the
+	// factor on each pass: a stress knob, not a calibrated disk model.
+	FaultDegrade
+)
+
+// String names the fault kind for formatted sweep output.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultKill:
+		return "kill"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDegrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("faultkind(%d)", int(k))
+	}
+}
+
+// ShardFault schedules one fault on one shard.
+type ShardFault struct {
+	// Shard indexes the target: a shard of ShardedStore/ECStore, a
+	// replica of ReplicatedStore, or 0 for a non-composite store (the
+	// whole store is one shard).
+	Shard int
+	// AtVT is the virtual time the fault takes effect; operations issued
+	// at or after it see the fault. Must be positive.
+	AtVT vtime.Time
+	// Kind selects kill, corrupt or degrade.
+	Kind FaultKind
+	// Factor is the slowdown multiplier of FaultDegrade (> 1); ignored
+	// by the other kinds.
+	Factor float64
+}
+
+// FaultStats counts the operations one faulted shard absorbed.
+type FaultStats struct {
+	// LostWrites is saves dropped by a killed shard.
+	LostWrites int64
+	// LostReads is loads refused by a killed shard.
+	LostReads int64
+	// CorruptReads is loads that returned damaged snapshots.
+	CorruptReads int64
+}
+
+// FaultyStore wraps a store so scheduled ShardFaults apply to its
+// shards. For composite inners (ShardedStore, ECStore, ReplicatedStore)
+// each fault targets one shard/replica; any other store is treated as a
+// single shard 0. The wrapper must be installed before the store carries
+// traffic (it rewires the composite's shard slots at construction).
+type FaultyStore struct {
+	inner  Store
+	shards []*faultyShard
+}
+
+// shardSwapper is implemented by composite stores whose shard backends
+// the fault plane can rewire.
+type shardSwapper interface {
+	NumShards() int
+	swapShard(i int, wrap func(Store) Store)
+}
+
+// NewFaultyStore wraps inner with the given fault schedule. Shard
+// indices are validated against the inner store's shard count, AtVT
+// must be positive, and FaultDegrade needs Factor > 1.
+func NewFaultyStore(inner Store, faults ...ShardFault) (*FaultyStore, error) {
+	n := 1
+	sw, composite := inner.(shardSwapper)
+	if composite {
+		n = sw.NumShards()
+	}
+	for _, f := range faults {
+		if f.Shard < 0 || f.Shard >= n {
+			return nil, fmt.Errorf("checkpoint: shard fault targets shard %d of a %d-shard store", f.Shard, n)
+		}
+		if f.AtVT <= 0 {
+			return nil, fmt.Errorf("checkpoint: shard fault on shard %d: virtual time %v must be positive", f.Shard, f.AtVT)
+		}
+		switch f.Kind {
+		case FaultKill, FaultCorrupt:
+		case FaultDegrade:
+			if f.Factor <= 1 {
+				return nil, fmt.Errorf("checkpoint: degrade fault on shard %d: factor %g must be > 1", f.Shard, f.Factor)
+			}
+		default:
+			return nil, fmt.Errorf("checkpoint: unknown fault kind %v", f.Kind)
+		}
+	}
+	st := &FaultyStore{shards: make([]*faultyShard, n)}
+	wrap := func(i int) func(Store) Store {
+		return func(s Store) Store {
+			sh := &faultyShard{inner: s}
+			for _, f := range faults {
+				if f.Shard == i {
+					sh.faults = append(sh.faults, f)
+				}
+			}
+			st.shards[i] = sh
+			return sh
+		}
+	}
+	if composite {
+		for i := 0; i < n; i++ {
+			sw.swapShard(i, wrap(i))
+		}
+		st.inner = inner
+	} else {
+		st.inner = wrap(0)(inner)
+	}
+	return st, nil
+}
+
+// Save implements Store.
+func (st *FaultyStore) Save(s *Snapshot, at vtime.Time) (vtime.Time, error) {
+	return st.inner.Save(s, at)
+}
+
+// LatestSeq implements Store. Sequence tracking is structural metadata,
+// not shard payload, so it reflects saves the fault plane dropped; the
+// runtime restores from its own completed-sequence records, and a load
+// of a dropped sequence fails like any other lost checkpoint.
+func (st *FaultyStore) LatestSeq(rank int) int { return st.inner.LatestSeq(rank) }
+
+// Load implements Store.
+func (st *FaultyStore) Load(rank, seq int, at vtime.Time) (*Snapshot, vtime.Time, bool) {
+	return st.inner.Load(rank, seq, at)
+}
+
+// Stats implements Store, delegating to the wrapped store.
+func (st *FaultyStore) Stats() StoreStats { return st.inner.Stats() }
+
+// FaultStats reports per-shard fault activity, indexed like the fault
+// schedule's Shard field.
+func (st *FaultyStore) FaultStats() []FaultStats {
+	out := make([]FaultStats, len(st.shards))
+	for i, sh := range st.shards {
+		out[i] = sh.statsSnapshot()
+	}
+	return out
+}
+
+// faultyShard applies one shard's fault schedule around an inner store.
+type faultyShard struct {
+	inner  Store
+	faults []ShardFault
+
+	mu    sync.Mutex
+	stats FaultStats
+}
+
+// mode evaluates the fault schedule at the operation's issue time — a
+// pure function of `at`, which is what keeps injection deterministic.
+func (sh *faultyShard) mode(at vtime.Time) (killed, corrupt bool, slow float64) {
+	slow = 1
+	for _, f := range sh.faults {
+		if f.AtVT > at {
+			continue
+		}
+		switch f.Kind {
+		case FaultKill:
+			killed = true
+		case FaultCorrupt:
+			corrupt = true
+		case FaultDegrade:
+			slow *= f.Factor
+		}
+	}
+	return killed, corrupt, slow
+}
+
+// Save implements Store: killed shards drop the write (counted, no
+// error — a lost storage target fails silently, it does not abort the
+// writer), degraded shards charge Factor× the modeled cost.
+func (sh *faultyShard) Save(s *Snapshot, at vtime.Time) (vtime.Time, error) {
+	killed, _, slow := sh.mode(at)
+	if killed {
+		sh.mu.Lock()
+		sh.stats.LostWrites++
+		sh.mu.Unlock()
+		return at, nil
+	}
+	if slow != 1 {
+		cp := *s
+		cp.ModelBytes = int64(float64(s.CostBytes()) * slow)
+		return sh.inner.Save(&cp, at)
+	}
+	return sh.inner.Save(s, at)
+}
+
+// LatestSeq implements Store (see FaultyStore.LatestSeq).
+func (sh *faultyShard) LatestSeq(rank int) int { return sh.inner.LatestSeq(rank) }
+
+// Load implements Store: killed shards refuse the read, corrupt shards
+// damage the returned clone (detectable only by self-verifying
+// backends), degraded shards stretch the read duration.
+func (sh *faultyShard) Load(rank, seq int, at vtime.Time) (*Snapshot, vtime.Time, bool) {
+	killed, corrupt, slow := sh.mode(at)
+	if killed {
+		sh.mu.Lock()
+		sh.stats.LostReads++
+		sh.mu.Unlock()
+		return nil, at, false
+	}
+	s, end, ok := sh.inner.Load(rank, seq, at)
+	if !ok {
+		return nil, end, false
+	}
+	if slow != 1 {
+		end = at.Add(vtime.Duration(float64(end.Sub(at)) * slow))
+	}
+	if corrupt {
+		if len(s.AppState) > 0 {
+			s.AppState[0] ^= 0xA5
+		} else {
+			s.AppState = []byte{0xA5}
+		}
+		sh.mu.Lock()
+		sh.stats.CorruptReads++
+		sh.mu.Unlock()
+	}
+	return s, end, true
+}
+
+// Stats implements Store.
+func (sh *faultyShard) Stats() StoreStats { return sh.inner.Stats() }
+
+func (sh *faultyShard) statsSnapshot() FaultStats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.stats
+}

@@ -138,6 +138,12 @@ func (st *ShardedStore) shardOf(rank int) int {
 // NumShards reports the shard count.
 func (st *ShardedStore) NumShards() int { return len(st.shards) }
 
+// swapShard replaces shard i through wrap — the fault-injection hook
+// (NewFaultyStore). Must be called before the store carries traffic.
+func (st *ShardedStore) swapShard(i int, wrap func(Store) Store) {
+	st.shards[i] = wrap(st.shards[i])
+}
+
 // Save implements Store: the snapshot goes to its rank's shard and only
 // contends with that shard's writers.
 func (st *ShardedStore) Save(s *Snapshot, at vtime.Time) (vtime.Time, error) {

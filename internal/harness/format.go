@@ -66,3 +66,21 @@ func FormatE5(rows []E5Row) string {
 	}
 	return b.String()
 }
+
+// FormatE6 renders the shard-loss redundancy comparison. Aborted rows
+// print "lost" with dashes for the observables a dead run does not have.
+func FormatE6(rows []E6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %7s %5s %9s %14s %14s %10s %14s %9s\n",
+		"Config", "Shards", "Lost", "Outcome", "CleanVT", "FaultVT", "Overhead", "PhysBytes", "DegLoads")
+	for _, r := range rows {
+		if !r.Survived {
+			fmt.Fprintf(&b, "%-12s %7d %5d %9s %14s %14s %10s %14d %9s\n",
+				r.Config, r.Shards, r.Lost, "lost", r.CleanVT, "-", "-", r.PhysBytes, "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %7d %5d %9s %14s %14s %9.2f%% %14d %9d\n",
+			r.Config, r.Shards, r.Lost, "recovered", r.CleanVT, r.FaultVT, r.OverheadPct, r.PhysBytes, r.DegradedLoads)
+	}
+	return b.String()
+}

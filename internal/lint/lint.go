@@ -47,6 +47,7 @@ var deterministicPkgs = map[string]bool{
 	"hydee/internal/vtime":      true,
 	"hydee/internal/netmodel":   true,
 	"hydee/internal/checkpoint": true,
+	"hydee/internal/erasure":    true, // pure codec: no clocks, no maps, no rand
 	"hydee/internal/graph":      true, // workload generation: seeded rand only
 	"hydee/internal/apps":       true,
 }

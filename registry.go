@@ -134,6 +134,9 @@ func init() {
 	storeRegistry.mustRegister("memory", "mem", memStoreFactory)
 	storeRegistry.mustRegister("file", "", fileStoreFactory)
 	storeRegistry.mustRegister("sharded", "", shardedStoreFactory)
+	storeRegistry.mustRegister("ec", "", ecStoreFactory)
+	storeRegistry.mustRegister("replica", "", replicaStoreFactory)
+	storeRegistry.mustRegister("replicated", "replica", replicaStoreFactory)
 
 	exporterRegistry.mustRegister("jsonl", "", NewJSONLExporter)
 	exporterRegistry.mustRegister("metrics", "", NewMetricsExporter)
@@ -215,7 +218,8 @@ func ModelByName(name string) (Model, error) {
 func ModelNames() []string { return modelRegistry.names() }
 
 // StoreByName builds the named checkpoint store: "mem", "file",
-// "sharded", or anything added through RegisterStore.
+// "sharded", "ec" (erasure-coded), "replica" (r-way replicated), or
+// anything added through RegisterStore.
 func StoreByName(name string, opts StoreOptions) (Store, error) {
 	mk, err := storeRegistry.lookup(name)
 	if err != nil {

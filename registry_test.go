@@ -6,6 +6,7 @@ package hydee_test
 // registration (run with -race).
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -153,28 +154,64 @@ func TestConcurrentRegistration(t *testing.T) {
 
 func TestParseStoreSpec(t *testing.T) {
 	cases := []struct {
-		spec   string
-		name   string
-		shards int
-		ok     bool
+		spec string
+		name string
+		opts hydee.StoreOptions
+		ok   bool
 	}{
-		{"mem", "mem", 0, true},
-		{"sharded:4", "sharded", 4, true},
-		{"sharded:1", "sharded", 1, true},
-		{"sharded:0", "", 0, false},
-		{"sharded:-2", "", 0, false},
-		{"sharded:x", "", 0, false},
-		{"", "", 0, false},
-		{":4", "", 0, false},
+		{"mem", "mem", hydee.StoreOptions{}, true},
+		{"sharded:4", "sharded", hydee.StoreOptions{Shards: 4}, true},
+		{"sharded:1", "sharded", hydee.StoreOptions{Shards: 1}, true},
+		{"ec:4+2", "ec", hydee.StoreOptions{Shards: 4, Parity: 2}, true},
+		{"ec:1+1", "ec", hydee.StoreOptions{Shards: 1, Parity: 1}, true},
+		{"EC: 12 + 4", "EC", hydee.StoreOptions{Shards: 12, Parity: 4}, true},
+		{"replica:3", "replica", hydee.StoreOptions{Replicas: 3}, true},
+		{"replica:2", "replica", hydee.StoreOptions{Replicas: 2}, true},
+		{"replicated:3", "replicated", hydee.StoreOptions{Replicas: 3}, true},
+		{"sharded:0", "", hydee.StoreOptions{}, false},
+		{"sharded:-2", "", hydee.StoreOptions{}, false},
+		{"sharded:x", "", hydee.StoreOptions{}, false},
+		{"", "", hydee.StoreOptions{}, false},
+		{":4", "", hydee.StoreOptions{}, false},
+		// Redundancy geometry is validated eagerly at parse time.
+		{"ec", "", hydee.StoreOptions{}, false},
+		{"ec:4", "", hydee.StoreOptions{}, false},
+		{"ec:0+2", "", hydee.StoreOptions{}, false},
+		{"ec:4+0", "", hydee.StoreOptions{}, false},
+		{"ec:-1+2", "", hydee.StoreOptions{}, false},
+		{"ec:200+100", "", hydee.StoreOptions{}, false},
+		{"ec:a+b", "", hydee.StoreOptions{}, false},
+		{"replica", "", hydee.StoreOptions{}, false},
+		{"replica:1", "", hydee.StoreOptions{}, false},
+		{"replica:0", "", hydee.StoreOptions{}, false},
+		{"replica:x", "", hydee.StoreOptions{}, false},
 	}
 	for _, tc := range cases {
-		name, shards, err := hydee.ParseStoreSpec(tc.spec)
+		name, opts, err := hydee.ParseStoreSpec(tc.spec)
 		if tc.ok != (err == nil) {
 			t.Errorf("ParseStoreSpec(%q): err = %v, want ok=%v", tc.spec, err, tc.ok)
 			continue
 		}
-		if tc.ok && (name != tc.name || shards != tc.shards) {
-			t.Errorf("ParseStoreSpec(%q) = %q/%d, want %q/%d", tc.spec, name, shards, tc.name, tc.shards)
+		if !tc.ok {
+			// Rejections carry the typed error, and its message lists
+			// the canonical store names so the fix is discoverable.
+			var serr *hydee.StoreSpecError
+			if !errors.As(err, &serr) {
+				t.Errorf("ParseStoreSpec(%q): error %T is not a *StoreSpecError", tc.spec, err)
+				continue
+			}
+			if serr.Spec != tc.spec {
+				t.Errorf("ParseStoreSpec(%q): StoreSpecError.Spec = %q", tc.spec, serr.Spec)
+			}
+			for _, want := range []string{"ec", "replica", "sharded", "mem"} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("ParseStoreSpec(%q) error does not list store %q: %v", tc.spec, want, err)
+				}
+			}
+			continue
+		}
+		if name != tc.name || opts.Shards != tc.opts.Shards || opts.Parity != tc.opts.Parity || opts.Replicas != tc.opts.Replicas {
+			t.Errorf("ParseStoreSpec(%q) = %q/%+v, want %q/%+v", tc.spec, name, opts, tc.name, tc.opts)
 		}
 	}
 }

@@ -204,3 +204,103 @@ func TestCheckpointLostTyped(t *testing.T) {
 		t.Errorf("want *RunError in phase %q, got %#v", hydee.PhaseRecovery, err)
 	}
 }
+
+// TestShardLossMatrix extends the lying-store scenario to real shard
+// loss across every backend: rank 2 (cluster 1) fails after its second
+// checkpoint while a FaultyStore has killed some of the storage targets
+// from the start of the run. Losses within a backend's redundancy must
+// recover (digest-identical to the unfaulted run); losses beyond it
+// must abort with the typed ErrCheckpointLost in the recovery phase,
+// never restart silently from the initial state.
+func TestShardLossMatrix(t *testing.T) {
+	assign := []int{0, 0, 1, 1} // rank 2, the victim, is in cluster 1
+	const bps = 1e9
+	place := func(n int) func(rank int) int {
+		return func(rank int) int { return assign[rank] % n }
+	}
+	mk := func(t *testing.T, build func() (hydee.Store, error), kill ...int) hydee.Store {
+		t.Helper()
+		inner, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := make([]hydee.ShardFault, len(kill))
+		for i, sh := range kill {
+			// AtVT 1 kills the shard from (virtually) the start of the
+			// run: its checkpoint writes are dropped, its restore reads
+			// refused.
+			faults[i] = hydee.ShardFault{Shard: sh, AtVT: 1, Kind: hydee.FaultKill}
+		}
+		st, err := hydee.NewFaultyStore(inner, faults...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	sharded := func() (hydee.Store, error) { return hydee.NewShardedStore(2, bps, bps, place(2)), nil }
+	ec := func() (hydee.Store, error) { return hydee.NewECStore(2, 1, bps, bps, place(3)) }
+	replica := func() (hydee.Store, error) { return hydee.NewReplicatedStore(2, bps, bps, place(2)) }
+
+	// The unfaulted reference run: its digests are what every surviving
+	// faulted run must reproduce.
+	refEng, err := hydee.New(failingEngineOpts(hydee.WithStore(hydee.NewMemStore(bps, bps)))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := hydee.StencilProgram(8, 4096)
+	ref, err := refEng.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		store   func(t *testing.T) hydee.Store
+		survive bool
+	}{
+		// A whole-store kill generalizes the amnesiac store above.
+		{"mem/kill-all", func(t *testing.T) hydee.Store {
+			return mk(t, func() (hydee.Store, error) { return hydee.NewMemStore(bps, bps), nil }, 0)
+		}, false},
+		// Plain sharding has no redundancy: losing the victim cluster's
+		// shard is fatal, losing only the bystander cluster's is not.
+		{"sharded2/lose-victim-shard", func(t *testing.T) hydee.Store { return mk(t, sharded, 1) }, false},
+		{"sharded2/lose-bystander-shard", func(t *testing.T) hydee.Store { return mk(t, sharded, 0) }, true},
+		// ec:2+1 absorbs any m=1 losses and no more.
+		{"ec2+1/lose-1", func(t *testing.T) hydee.Store { return mk(t, ec, 1) }, true},
+		{"ec2+1/lose-2", func(t *testing.T) hydee.Store { return mk(t, ec, 1, 2) }, false},
+		// replica:2 absorbs any single replica loss and no more.
+		{"replica2/lose-1", func(t *testing.T) hydee.Store { return mk(t, replica, 1) }, true},
+		{"replica2/lose-all", func(t *testing.T) hydee.Store { return mk(t, replica, 0, 1) }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := hydee.New(failingEngineOpts(hydee.WithStore(tc.store(t)))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run(context.Background(), prog)
+			if !tc.survive {
+				if !errors.Is(err, hydee.ErrCheckpointLost) {
+					t.Fatalf("want ErrCheckpointLost, got %v", err)
+				}
+				var re *hydee.RunError
+				if !errors.As(err, &re) || re.Phase != hydee.PhaseRecovery {
+					t.Errorf("want *RunError in phase %q, got %#v", hydee.PhaseRecovery, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("loss within redundancy aborted the run: %v", err)
+			}
+			if len(res.Rounds) != 1 {
+				t.Fatalf("rounds = %+v, want 1", res.Rounds)
+			}
+			for r := range res.Results {
+				if res.Results[r] != ref.Results[r] {
+					t.Errorf("rank %d digest diverged after degraded recovery", r)
+				}
+			}
+		})
+	}
+}

@@ -14,12 +14,13 @@ import (
 // vice versa), and a registry addition is selectable everywhere at once.
 
 // StoreSpec is the flag/wire form of a checkpoint-store selection:
-// a registry name with an optional shard count ("mem", "file",
-// "sharded:4"), a per-link bandwidth model and a directory for
-// file-backed stores. The zero value selects the free in-memory store.
+// a registry name with an optional geometry ("mem", "sharded:4",
+// "ec:4+2", "replica:3" — see StoreSpecForms), a per-link bandwidth
+// model and a directory for file-backed stores. The zero value selects
+// the free in-memory store.
 type StoreSpec struct {
-	// Spec is "name" or "name:shards" over the store registry; "" means
-	// "mem".
+	// Spec selects the store over the registry in the ParseStoreSpec
+	// grammar (StoreSpecForms); "" means "mem".
 	Spec string `json:"store,omitempty"`
 	// BPS models stable-storage write and read bandwidth in bytes/second
 	// per store link (0 = free storage).
@@ -35,7 +36,7 @@ func (s *StoreSpec) Bind(fs *flag.FlagSet) {
 		s.Spec = "mem"
 	}
 	fs.StringVar(&s.Spec, "store", s.Spec,
-		"checkpoint store, name[:shards] over "+strings.Join(StoreNames(), ", ")+" (e.g. sharded:4)")
+		"checkpoint store over "+strings.Join(StoreNames(), ", ")+"; forms "+StoreSpecForms)
 	fs.Float64Var(&s.BPS, "store-bps", s.BPS,
 		"stable-storage bandwidth in bytes/second per store link (0 = free)")
 	fs.StringVar(&s.Dir, "store-dir", s.Dir,
@@ -48,11 +49,13 @@ func (s StoreSpec) options() (string, StoreOptions, error) {
 	if strings.TrimSpace(spec) == "" {
 		spec = "mem"
 	}
-	name, shards, err := ParseStoreSpec(spec)
+	name, opts, err := ParseStoreSpec(spec)
 	if err != nil {
 		return "", StoreOptions{}, err
 	}
-	return name, StoreOptions{WriteBPS: s.BPS, ReadBPS: s.BPS, Shards: shards, Dir: s.Dir}, nil
+	opts.WriteBPS, opts.ReadBPS = s.BPS, s.BPS
+	opts.Dir = s.Dir
+	return name, opts, nil
 }
 
 // Probe validates the spec eagerly — the name resolves and the factory
@@ -67,16 +70,18 @@ func (s StoreSpec) Probe() error {
 	return err
 }
 
-// New builds a fresh store for one run. A sharded spec with no explicit
-// placement places each cluster of topo on its own shard; topo may be nil
-// for unclustered runs.
+// New builds a fresh store for one run. A composite spec (sharded, ec,
+// replica) with no explicit placement places each cluster of topo on its
+// own shard — for ec, the base shard of the cluster's fragment group;
+// for replica, the cluster's home replica. topo may be nil for
+// unclustered runs.
 func (s StoreSpec) New(topo *Topology) (Store, error) {
 	name, opts, err := s.options()
 	if err != nil {
 		return nil, err
 	}
-	if opts.Shards > 1 && topo != nil {
-		opts.Placement = ClusterPlacement(topo, opts.Shards)
+	if n := opts.totalShards(); n > 1 && topo != nil {
+		opts.Placement = ClusterPlacement(topo, n)
 	}
 	return StoreByName(name, opts)
 }
